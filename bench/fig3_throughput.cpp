@@ -1,0 +1,54 @@
+// Paper Figure 3: DRAM vs Optane under ADR/eADR with undo/redo logging,
+// for the six non-TATP workloads — B+Tree insert-only, B+Tree mixed,
+// TPCC (B+Tree index), TPCC (Hash index), Vacation low, Vacation high.
+// Throughput vs thread count {1,2,4,8,16,32}.
+//
+// Expected shapes (paper §III.B/§III.C):
+//  * redo ("_R") above undo ("_U") nearly everywhere;
+//  * eADR above ADR for every workload, least pronounced for Vacation;
+//  * Optane curves below DRAM, with the gap widening at high thread
+//    counts (WPQ saturation → worse Optane scalability).
+#include "bench_common.h"
+#include "workloads/btree_micro.h"
+#include "workloads/tpcc.h"
+#include "workloads/vacation.h"
+
+int main(int argc, char** argv) {
+  const std::string only = argc > 1 ? argv[1] : "";
+  const auto curves = bench::fig3_curves();
+  auto want = [&](const char* name) { return only.empty() || only == name; };
+
+  if (want("btree-insert")) {
+    workloads::BTreeMicroParams bp;
+    bp.insert_only = true;
+    bench::run_panel("Fig 3(a) B+Tree insert-only", workloads::btree_micro_factory(bp),
+                     curves, 400);
+  }
+  if (want("btree-mixed")) {
+    workloads::BTreeMicroParams bp;
+    bp.insert_only = false;
+    bp.key_range = 1ull << 17;  // paper: 2^21, scaled 1/16
+    bp.preload = 1ull << 16;
+    bench::run_panel("Fig 3(b) B+Tree mixed (ins/lookup/rm, keys 2^17 scaled)",
+                     workloads::btree_micro_factory(bp), curves, 400);
+  }
+  if (want("tpcc-btree")) {
+    workloads::TpccParams tp;
+    tp.index = workloads::TpccIndex::kBPlusTree;
+    bench::run_panel("Fig 3(c) TPCC (B+Tree)", workloads::tpcc_factory(tp), curves, 120);
+  }
+  if (want("tpcc-hash")) {
+    workloads::TpccParams tp;
+    tp.index = workloads::TpccIndex::kHashTable;
+    bench::run_panel("Fig 3(d) TPCC (Hash Table)", workloads::tpcc_factory(tp), curves, 120);
+  }
+  if (want("vacation-low")) {
+    bench::run_panel("Fig 3(e) Vacation (low contention)",
+                     workloads::vacation_factory(workloads::vacation_low()), curves, 200);
+  }
+  if (want("vacation-high")) {
+    bench::run_panel("Fig 3(f) Vacation (high contention)",
+                     workloads::vacation_factory(workloads::vacation_high()), curves, 200);
+  }
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Paper Figure 4: the TATP telecom workload under the Fig-3 curve set.
+//
+// Expected shape: TATP is the paper's outlier — its transactions write
+// only 1-2 words, so undo logging's O(W) fence penalty nearly vanishes and
+// the undo curves sit close to (or above) redo.
+#include "bench_common.h"
+#include "workloads/tatp.h"
+
+int main() {
+  workloads::TatpParams tp;
+  bench::run_panel("Fig 4 TATP (write-only)", workloads::tatp_factory(tp),
+                   bench::fig3_curves(), 600);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Paper Figure 6: the proposed PDRAM / PDRAM-Lite durability domains vs
+// DRAM and eADR, for the six non-TATP workloads.
+//
+// Expected shapes (paper §IV.D):
+//  * PDRAM largely closes the gap to DRAM until Optane writeback
+//    bandwidth saturates at high thread counts;
+//  * PDRAM-Lite beats eADR everywhere, but only marginally for all but
+//    TATP/TPCC — the redo log's regular access pattern is already cheap
+//    on Optane.
+#include "bench_common.h"
+#include "workloads/btree_micro.h"
+#include "workloads/tpcc.h"
+#include "workloads/vacation.h"
+
+int main(int argc, char** argv) {
+  const std::string only = argc > 1 ? argv[1] : "";
+  const auto curves = bench::fig6_curves();
+  auto want = [&](const char* name) { return only.empty() || only == name; };
+
+  if (want("btree-insert")) {
+    workloads::BTreeMicroParams bp;
+    bp.insert_only = true;
+    bench::run_panel("Fig 6(a) B+Tree insert-only", workloads::btree_micro_factory(bp),
+                     curves, 400);
+  }
+  if (want("btree-mixed")) {
+    workloads::BTreeMicroParams bp;
+    bp.insert_only = false;
+    bp.key_range = 1ull << 17;
+    bp.preload = 1ull << 16;
+    bench::run_panel("Fig 6(b) B+Tree mixed", workloads::btree_micro_factory(bp), curves,
+                     400);
+  }
+  if (want("tpcc-btree")) {
+    workloads::TpccParams tp;
+    tp.index = workloads::TpccIndex::kBPlusTree;
+    bench::run_panel("Fig 6(c) TPCC (B+Tree)", workloads::tpcc_factory(tp), curves, 120);
+  }
+  if (want("tpcc-hash")) {
+    workloads::TpccParams tp;
+    tp.index = workloads::TpccIndex::kHashTable;
+    bench::run_panel("Fig 6(d) TPCC (Hash Table)", workloads::tpcc_factory(tp), curves, 120);
+  }
+  if (want("vacation-low")) {
+    bench::run_panel("Fig 6(e) Vacation (low contention)",
+                     workloads::vacation_factory(workloads::vacation_low()), curves, 200);
+  }
+  if (want("vacation-high")) {
+    bench::run_panel("Fig 6(f) Vacation (high contention)",
+                     workloads::vacation_factory(workloads::vacation_high()), curves, 200);
+  }
+  return 0;
+}

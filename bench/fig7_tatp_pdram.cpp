@@ -1,0 +1,13 @@
+// Paper Figure 7: TATP under the durability-domain comparison (Fig 6
+// curve set). PDRAM should track DRAM closely; PDRAM-Lite should show one
+// of its largest wins here (TATP's tiny transactions are dominated by log
+// persistence cost).
+#include "bench_common.h"
+#include "workloads/tatp.h"
+
+int main() {
+  workloads::TatpParams tp;
+  bench::run_panel("Fig 7 TATP (durability domains)", workloads::tatp_factory(tp),
+                   bench::fig6_curves(), 600);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Paper Figure 8: memcached throughput (requests/s) vs working-set size,
+// one worker thread, 50/50 get/set, 128-byte keys, 1-KB values, uniform
+// random keys.
+//
+// The paper sweeps 32MB (L3-resident) then 32GB..320GB on a machine with
+// ~32MB L3 and 96GB of DRAM per socket. This host models the hierarchy at
+// **1/256 scale** (DESIGN.md): L3 160KB, Memory-Mode DRAM cache 384MB, so
+// the paper's points map to {128KB, 128MB, 384MB, 640MB, 896MB, 1.125GB,
+// 1.25GB} of (virtual-payload) working set. Expected shapes:
+//  * a cliff from the L3-resident point to the first DRAM-scale point;
+//  * DRAM curves cannot operate beyond the DRAM boundary (n/a cells);
+//  * PDRAM tracks DRAM until the working set exceeds the DRAM cache;
+//  * PDRAM-Lite only marginally above eADR+redo (§IV.E);
+//  * ADR lowest throughout (16 clwb + fences per 1-KB set).
+#include "bench_common.h"
+#include "workloads/kv.h"
+
+int main() {
+  // Paper working sets, divided by 256.
+  struct WsPoint {
+    const char* paper_label;
+    uint64_t scaled_bytes;
+  };
+  const std::vector<WsPoint> points = {
+      {"32MB", 128ull << 10},   {"32GB", 128ull << 20},  {"96GB", 384ull << 20},
+      {"160GB", 640ull << 20},  {"224GB", 896ull << 20}, {"288GB", 1152ull << 20},
+      {"320GB", 1280ull << 20},
+  };
+  const uint64_t dram_boundary = 384ull << 20;  // 96GB / 256
+
+  std::vector<bench::Curve> curves;
+  for (auto a : {ptm::Algo::kOrecEager, ptm::Algo::kOrecLazy}) {
+    curves.push_back(bench::curve(nvm::Media::kDram, nvm::Domain::kEadr, a));
+  }
+  for (auto d : {nvm::Domain::kAdr, nvm::Domain::kEadr}) {
+    for (auto a : {ptm::Algo::kOrecEager, ptm::Algo::kOrecLazy}) {
+      curves.push_back(bench::curve(nvm::Media::kOptane, d, a));
+    }
+  }
+  for (auto a : {ptm::Algo::kOrecEager, ptm::Algo::kOrecLazy}) {
+    curves.push_back(bench::curve(nvm::Media::kOptane, nvm::Domain::kPdram, a));
+  }
+  curves.push_back(
+      bench::curve(nvm::Media::kOptane, nvm::Domain::kPdramLite, ptm::Algo::kOrecLazy));
+
+  std::vector<std::string> header{"working-set(paper)"};
+  for (const auto& c : curves) header.push_back(c.label);
+  util::TextTable table(std::move(header));
+
+  for (const auto& ws : points) {
+    std::vector<std::string> row{ws.paper_label};
+    for (const auto& c : curves) {
+      if (c.media == nvm::Media::kDram && ws.scaled_bytes >= dram_boundary) {
+        row.emplace_back("n/a");  // paper: DRAM cannot hold this working set
+        continue;
+      }
+      workloads::KvParams kp;
+      kp.items = ws.scaled_bytes / kp.value_bytes;
+      workloads::RunPoint p;
+      p.sys.media = c.media;
+      p.sys.domain = c.domain;
+      p.algo = c.algo;
+      p.threads = 1;  // paper: single worker isolates latency
+      p.sys.l3_bytes = 160ull << 10;          // 32-40MB / 256
+      p.sys.dram_cache_bytes = dram_boundary;  // 96GB / 256
+      p.ops_per_thread = bench::scaled_ops(8000);
+      const auto r = workloads::run_point(workloads::kv_factory(kp), p);
+      // Requests per simulated second (throughput in Kreq/s for legibility).
+      row.push_back(util::fmt(r.throughput_tx_per_sec() / 1e3, 1));
+      std::cout << "." << std::flush;
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << "\n== Fig 8: memcached requests/s vs working set "
+            << "(Kreq/s, simulated; hierarchy scaled 1/256) ==\n";
+  table.print(std::cout);
+  return 0;
+}

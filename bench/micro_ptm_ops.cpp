@@ -1,0 +1,119 @@
+// Google-benchmark microbenchmarks of the PTM runtime primitives: raw
+// host-side costs of transactional reads/writes, log appends, commit paths
+// and allocator ops. These measure the *implementation*, not the simulated
+// machine (timing model off), and guard against runtime regressions.
+#include <benchmark/benchmark.h>
+
+#include "containers/bptree.h"
+#include "containers/hashmap.h"
+#include "ptm/runtime.h"
+#include "sim/context.h"
+
+namespace {
+
+struct Root {
+  uint64_t cells[256];
+  uint64_t tree;
+  cont::HashMap::Handle map;
+};
+
+nvm::SystemConfig bench_cfg() {
+  nvm::SystemConfig cfg;
+  cfg.media = nvm::Media::kOptane;
+  cfg.domain = nvm::Domain::kEadr;
+  cfg.model_timing = false;  // measure host-side runtime cost only
+  cfg.pool_size = 128ull << 20;
+  cfg.max_workers = 4;
+  return cfg;
+}
+
+void BM_ReadOnlyTx(benchmark::State& state, ptm::Algo algo) {
+  nvm::Pool pool(bench_cfg());
+  ptm::Runtime rt(pool, algo);
+  sim::RealContext ctx(0, 4);
+  auto* root = pool.root<Root>();
+  uint64_t i = 0;
+  for (auto _ : state) {
+    rt.run(ctx, [&](ptm::Tx& tx) {
+      benchmark::DoNotOptimize(tx.read(&root->cells[i++ & 255]));
+    });
+  }
+}
+BENCHMARK_CAPTURE(BM_ReadOnlyTx, redo, ptm::Algo::kOrecLazy);
+BENCHMARK_CAPTURE(BM_ReadOnlyTx, undo, ptm::Algo::kOrecEager);
+
+void BM_WriteTx(benchmark::State& state, ptm::Algo algo) {
+  nvm::Pool pool(bench_cfg());
+  ptm::Runtime rt(pool, algo);
+  sim::RealContext ctx(0, 4);
+  auto* root = pool.root<Root>();
+  const auto writes = static_cast<uint64_t>(state.range(0));
+  uint64_t i = 0;
+  for (auto _ : state) {
+    rt.run(ctx, [&](ptm::Tx& tx) {
+      for (uint64_t w = 0; w < writes; w++) {
+        tx.write(&root->cells[(i + w * 7) & 255], i);
+      }
+    });
+    i++;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(writes));
+}
+BENCHMARK_CAPTURE(BM_WriteTx, redo, ptm::Algo::kOrecLazy)->Arg(1)->Arg(8)->Arg(64);
+BENCHMARK_CAPTURE(BM_WriteTx, undo, ptm::Algo::kOrecEager)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_AllocFree(benchmark::State& state) {
+  nvm::Pool pool(bench_cfg());
+  ptm::Runtime rt(pool, ptm::Algo::kOrecLazy);
+  sim::RealContext ctx(0, 4);
+  for (auto _ : state) {
+    void* p = nullptr;
+    rt.run(ctx, [&](ptm::Tx& tx) { p = tx.alloc(64); });
+    rt.run(ctx, [&](ptm::Tx& tx) { tx.dealloc(p); });
+  }
+}
+BENCHMARK(BM_AllocFree);
+
+void BM_BTreeInsertLookup(benchmark::State& state) {
+  nvm::Pool pool(bench_cfg());
+  ptm::Runtime rt(pool, ptm::Algo::kOrecLazy);
+  sim::RealContext ctx(0, 4);
+  auto* root = &pool.root<Root>()->tree;
+  rt.run(ctx, [&](ptm::Tx& tx) { cont::BPlusTree::create(tx, root); });
+  uint64_t k = 0;
+  for (auto _ : state) {
+    rt.run(ctx, [&](ptm::Tx& tx) {
+      cont::BPlusTree::insert(tx, root, k * 0x9e3779b97f4a7c15ull, k);
+    });
+    rt.run(ctx, [&](ptm::Tx& tx) {
+      uint64_t out;
+      benchmark::DoNotOptimize(
+          cont::BPlusTree::lookup(tx, root, k * 0x9e3779b97f4a7c15ull, &out));
+    });
+    k++;
+  }
+}
+BENCHMARK(BM_BTreeInsertLookup);
+
+void BM_HashMapInsertLookup(benchmark::State& state) {
+  nvm::Pool pool(bench_cfg());
+  ptm::Runtime rt(pool, ptm::Algo::kOrecLazy);
+  sim::RealContext ctx(0, 4);
+  auto* h = &pool.root<Root>()->map;
+  rt.run(ctx, [&](ptm::Tx& tx) { cont::HashMap::create(tx, h, 1 << 16); });
+  uint64_t k = 0;
+  for (auto _ : state) {
+    rt.run(ctx, [&](ptm::Tx& tx) { cont::HashMap::insert(tx, h, k, k); });
+    rt.run(ctx, [&](ptm::Tx& tx) {
+      uint64_t out;
+      benchmark::DoNotOptimize(cont::HashMap::lookup(tx, h, k, &out));
+    });
+    k++;
+  }
+}
+BENCHMARK(BM_HashMapInsertLookup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

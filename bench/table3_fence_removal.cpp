@@ -1,0 +1,69 @@
+// Paper Table III: % speedup from removing memory fences (keeping clwb)
+// from the ADR write instrumentation — the deliberately *incorrect*
+// variant used to attribute ADR overhead to fences vs flushes.
+//
+// Expected shape: substantial single-digit to ~25% speedups; undo gains
+// at least as much as redo on fence-heavy workloads (undo fences are per
+// write); Vacation gains less per-transaction share (non-tx work).
+#include "bench_common.h"
+#include "workloads/tatp.h"
+#include "workloads/tpcc.h"
+#include "workloads/vacation.h"
+
+namespace {
+
+double speedup_pct(const workloads::WorkloadFactory& factory, ptm::Algo algo, int threads,
+                   uint64_t ops) {
+  workloads::RunPoint p;
+  bench::apply_model_scale(p.sys);
+  p.sys.media = nvm::Media::kOptane;
+  p.sys.domain = nvm::Domain::kAdr;
+  p.algo = algo;
+  p.threads = threads;
+  p.ops_per_thread = bench::scaled_ops(ops);
+
+  const auto base = workloads::run_point(factory, p);
+  p.sys.elide_fences = true;
+  const auto nofence = workloads::run_point(factory, p);
+  std::cout << "." << std::flush;
+  return 100.0 *
+         (nofence.throughput_tx_per_sec() / base.throughput_tx_per_sec() - 1.0);
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kThreads = 8;
+
+  workloads::TpccParams tp;
+  tp.index = workloads::TpccIndex::kHashTable;
+  workloads::TatpParams ta;
+
+  struct Row {
+    const char* name;
+    workloads::WorkloadFactory factory;
+    uint64_t ops;
+  };
+  const std::vector<Row> cols = {
+      {"TPCC", workloads::tpcc_factory(tp), 150},
+      {"TATP", workloads::tatp_factory(ta), 500},
+      {"Vacation(low)", workloads::vacation_factory(workloads::vacation_low()), 200},
+      {"Vacation(high)", workloads::vacation_factory(workloads::vacation_high()), 200},
+  };
+
+  std::vector<std::string> header{"algo"};
+  for (const auto& c : cols) header.emplace_back(c.name);
+  util::TextTable table(std::move(header));
+
+  for (auto algo : {ptm::Algo::kOrecEager, ptm::Algo::kOrecLazy}) {
+    std::vector<std::string> row{algo == ptm::Algo::kOrecEager ? "Undo" : "Redo"};
+    for (const auto& c : cols) {
+      row.push_back(util::fmt(speedup_pct(c.factory, algo, kThreads, c.ops), 1) + "%");
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << "\n== Table III: speedup from removing sfences (ADR, Optane, "
+            << kThreads << " threads) ==\n";
+  table.print(std::cout);
+  return 0;
+}

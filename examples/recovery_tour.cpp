@@ -1,0 +1,98 @@
+// Example: a tour of crash-recovery semantics across durability domains.
+//
+// Shows, for each (algorithm, domain) pair, what a power failure in the
+// middle of a batch of transactions leaves behind and how recovery
+// restores the committed prefix:
+//   * ADR + redo: un-fenced log entries vanish; committed logs replay;
+//   * ADR + undo: persisted in-place writes of the torn transaction are
+//     rolled back from the undo log;
+//   * eADR: every executed store survives the crash, so recovery's only
+//     job is discarding/rolling back the in-flight transaction.
+//
+// Build & run:  ./build/examples/recovery_tour
+#include <cstdio>
+
+#include "nvm/pool.h"
+#include "ptm/runtime.h"
+#include "sim/context.h"
+#include "util/rng.h"
+
+namespace {
+
+constexpr int kCells = 64;
+
+struct Root {
+  uint64_t cell[kCells];
+};
+
+void tour(ptm::Algo algo, nvm::Domain domain) {
+  nvm::SystemConfig cfg;
+  cfg.media = nvm::Media::kOptane;
+  cfg.domain = domain;
+  cfg.crash_sim = true;
+  cfg.pool_size = 32ull << 20;
+
+  nvm::Pool pool(cfg);
+  ptm::Runtime rt(pool, algo);
+  sim::RealContext ctx;
+  auto* root = pool.root<Root>();
+
+  rt.run(ctx, [&](ptm::Tx& tx) {
+    for (int i = 0; i < kCells; i++) tx.write(&root->cell[i], uint64_t{1});
+  });
+  pool.mem().checkpoint_all_persistent();
+
+  // Crash somewhere inside the 3rd..5th transaction.
+  pool.mem().arm_crash_after(120, /*rng_seed=*/1234);
+  int committed = 0;
+  try {
+    for (int t = 0; t < 50; t++) {
+      rt.run(ctx, [&](ptm::Tx& tx) {
+        // Each transaction doubles one whole stripe of 8 cells, so within
+        // a stripe all cells must always be equal — a torn transaction
+        // would leave a mixed stripe behind.
+        // Column-major striping: the 8 cells of a stripe live on 8
+        // *different* cache lines, so per-line persistence cannot make a
+        // stripe atomic by accident.
+        const int stripe = t % 8;
+        for (int i = 0; i < 8; i++) {
+          const int idx = i * 8 + stripe;
+          tx.write(&root->cell[idx], tx.read(&root->cell[idx]) * 2);
+        }
+      });
+      committed++;
+    }
+  } catch (const nvm::CrashPoint&) {
+  }
+
+  util::Rng rng(99);
+  pool.simulate_power_failure(rng);
+  rt.recover(ctx);
+
+  // Atomicity check: all 8 cells of each stripe moved together, so after
+  // recovery every stripe must be uniform.
+  bool consistent = true;
+  for (int s = 0; s < 8; s++) {
+    for (int i = 1; i < 8; i++) {
+      if (root->cell[i * 8 + s] != root->cell[s]) consistent = false;
+    }
+  }
+
+  std::printf("  %-18s %-11s committed-before-crash=%2d  consistent=%s\n",
+              ptm::algo_name(algo), nvm::domain_name(domain), committed,
+              consistent ? "yes" : "NO (bug!)");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("crash at a fixed persistence-event count, then recover:\n");
+  for (auto algo : {ptm::Algo::kOrecLazy, ptm::Algo::kOrecEager}) {
+    for (auto domain : {nvm::Domain::kAdr, nvm::Domain::kEadr}) {
+      tour(algo, domain);
+    }
+  }
+  std::printf("all states consistent: committed transactions survive, torn "
+              "ones leave no trace.\n");
+  return 0;
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every paper table/figure.
+#
+# Usage: scripts/run_all.sh [quick]
+#   quick — quarter-size benchmark points and a 8-thread sweep cap.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "quick" ]]; then
+  export REPRO_OPS_SCALE=0.25
+  export REPRO_MAX_THREADS=8
+fi
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/*; do
+  [[ -f "$b" && -x "$b" ]] || continue
+  echo "===== $b ====="
+  "$b"
+done

@@ -1,0 +1,170 @@
+#include "alloc/persistent_alloc.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+
+namespace alloc {
+namespace {
+
+constexpr size_t kClassSizes[PersistentAllocator::kNumClasses] = {
+    16,  32,  48,   64,   96,   128,  192,   256,
+    384, 512, 1024, 2048, 4096, 8192, 16384, 65536};
+
+constexpr uint64_t kHeaderMagicShift = 48;
+constexpr uint64_t kHeaderMagic = 0xA10Cull;  // tag in the block header word
+
+uint64_t make_header(int cls, size_t payload) {
+  return (kHeaderMagic << kHeaderMagicShift) | (static_cast<uint64_t>(cls) << 40) |
+         static_cast<uint64_t>(payload);
+}
+
+int header_class(uint64_t h) { return static_cast<int>((h >> 40) & 0xff); }
+size_t header_size(uint64_t h) { return static_cast<size_t>(h & ((1ull << 40) - 1)); }
+bool header_valid(uint64_t h) { return (h >> kHeaderMagicShift) == kHeaderMagic; }
+
+}  // namespace
+
+size_t PersistentAllocator::class_size(int cls) { return kClassSizes[cls]; }
+
+int PersistentAllocator::class_for(size_t n) {
+  for (int i = 0; i < kNumClasses; i++) {
+    if (kClassSizes[i] >= n) return i;
+  }
+  return -1;
+}
+
+PersistentAllocator::PersistentAllocator(nvm::Pool& pool)
+    : pool_(pool), heap_(pool.heap_base()), heap_bytes_(pool.heap_bytes()),
+      max_workers_(pool.config().max_workers) {
+  bump_ = reinterpret_cast<uint64_t*>(heap_);
+  heads_ = bump_ + 1;
+  const size_t header_words = 1 + static_cast<size_t>(max_workers_) * kNumClasses;
+  data_start_ = (header_words * 8 + 63) & ~size_t{63};
+  // A freshly formatted pool is zeroed; bump==0 means "not yet initialized".
+  if (*bump_ == 0) {
+    *bump_ = data_start_;
+    // The pool checkpoint after construction (Pool ctor / caller) persists
+    // this formatting.
+  }
+  bump_cache_.store(*bump_, std::memory_order_relaxed);
+}
+
+uint64_t PersistentAllocator::reserve_bump(sim::ExecContext& ctx, stats::TxCounters* c,
+                                           size_t need, size_t align) {
+  // 1. Lock-free reservation in the volatile counter (no scheduling point).
+  uint64_t old = bump_cache_.load(std::memory_order_relaxed);
+  uint64_t start;
+  do {
+    start = (old + align - 1) & ~(align - 1);
+    if (start + need > heap_bytes_) throw std::bad_alloc();
+  } while (!bump_cache_.compare_exchange_weak(old, start + need, std::memory_order_acq_rel));
+
+  // 2. Durably advance the persistent high-water mark (CAS-max: a slower
+  //    worker persisting a smaller end must never regress it), then charge
+  //    the store+flush+fence cost.
+  std::atomic_ref<uint64_t> hw(*bump_);
+  uint64_t cur = hw.load(std::memory_order_relaxed);
+  const uint64_t end = start + need;
+  while (cur < end && !hw.compare_exchange_weak(cur, end, std::memory_order_acq_rel)) {
+  }
+  nvm::Memory& mem = pool_.mem();
+  mem.account_store_in_place(ctx, c, bump_, nvm::Space::kData);
+  mem.clwb(ctx, c, bump_);
+  mem.sfence(ctx, c);
+  return start;
+}
+
+void PersistentAllocator::persist_word(sim::ExecContext& ctx, stats::TxCounters* c,
+                                       uint64_t* w, uint64_t v) {
+  nvm::Memory& mem = pool_.mem();
+  mem.store_word(ctx, c, w, v, nvm::Space::kData);
+  mem.clwb(ctx, c, w);
+  mem.sfence(ctx, c);
+}
+
+void* PersistentAllocator::alloc(sim::ExecContext& ctx, stats::TxCounters* c, size_t n) {
+  if (n == 0) n = 8;
+  const int cls = class_for(n);
+  if (cls < 0) throw std::invalid_argument("allocation exceeds kMaxBlock");
+  nvm::Memory& mem = pool_.mem();
+
+  uint64_t* head = head_slot(ctx.worker_id(), cls);
+  const uint64_t head_off = mem.load_word(ctx, c, head, nvm::Space::kData);
+  if (head_off != 0) {
+    // Pop: the block's first payload word is the next-free offset.
+    auto* payload = reinterpret_cast<uint64_t*>(heap_ + head_off);
+    const uint64_t next = mem.load_word(ctx, c, payload, nvm::Space::kData);
+    persist_word(ctx, c, head, next);
+    return payload;
+  }
+
+  // Fresh block from the bump region. The reservation is atomic; the block
+  // header persists before the block is handed out, so recovery can always
+  // trust block headers of logged allocations, and committed data never
+  // sits beyond the persisted high-water mark.
+  const size_t need = 8 + kClassSizes[cls];
+  const uint64_t cur = reserve_bump(ctx, c, need, 8);
+  auto* hdr = reinterpret_cast<uint64_t*>(heap_ + cur);
+  mem.store_word(ctx, c, hdr, make_header(cls, kClassSizes[cls]), nvm::Space::kData);
+  mem.clwb(ctx, c, hdr);
+  mem.sfence(ctx, c);
+  return hdr + 1;
+}
+
+void PersistentAllocator::free_block(sim::ExecContext& ctx, stats::TxCounters* c, void* p) {
+  assert(pool_.contains(p));
+  auto* payload = static_cast<uint64_t*>(p);
+  const uint64_t hdr = *(payload - 1);
+  assert(header_valid(hdr) && "free of a non-heap block");
+  const int cls = header_class(hdr);
+  nvm::Memory& mem = pool_.mem();
+
+  uint64_t* head = head_slot(ctx.worker_id(), cls);
+  const uint64_t old_head = mem.load_word(ctx, c, head, nvm::Space::kData);
+  // Invalidate stale transactional readers before clobbering the word.
+  if (reclaim_hook_) reclaim_hook_(payload);
+  // Link, then publish: next pointer persists before the head moves.
+  persist_word(ctx, c, payload, old_head);
+  persist_word(ctx, c, head, static_cast<uint64_t>(reinterpret_cast<char*>(p) - heap_));
+}
+
+bool PersistentAllocator::in_free_list(const void* p) {
+  const uint64_t off = static_cast<uint64_t>(static_cast<const char*>(p) - heap_);
+  for (int w = 0; w < max_workers_; w++) {
+    for (int cls = 0; cls < kNumClasses; cls++) {
+      uint64_t cur = *head_slot(w, cls);
+      while (cur != 0) {
+        if (cur == off) return true;
+        cur = *reinterpret_cast<uint64_t*>(heap_ + cur);
+      }
+    }
+  }
+  return false;
+}
+
+void PersistentAllocator::free_block_if_absent(sim::ExecContext& ctx, stats::TxCounters* c,
+                                               void* p) {
+  if (in_free_list(p)) return;
+  free_block(ctx, c, p);
+}
+
+void* PersistentAllocator::alloc_raw(sim::ExecContext& ctx, stats::TxCounters* c, size_t n) {
+  const size_t need = (n + 63) & ~size_t{63};
+  const uint64_t cur = reserve_bump(ctx, c, need, 64);
+  return heap_ + cur;
+}
+
+size_t PersistentAllocator::usable_size(const void* p) const {
+  const uint64_t hdr = *(static_cast<const uint64_t*>(p) - 1);
+  assert(header_valid(hdr));
+  return header_size(hdr);
+}
+
+uint64_t PersistentAllocator::high_water_bytes() const {
+  return bump_cache_.load(std::memory_order_relaxed);
+}
+
+}  // namespace alloc

@@ -1,0 +1,109 @@
+// Crash-consistent persistent-heap allocator (stand-in for Makalu [40]).
+//
+// Design:
+//  * Segregated size classes with **per-worker free lists** — no locks and
+//    no CAS loops, which matters because allocator code charges simulated
+//    time and must never hold a blocking lock across a scheduling point of
+//    the discrete-event engine.
+//  * A persistent bump high-water pointer for fresh blocks. The bump word is
+//    persisted (clwb+sfence) *before* a fresh block is handed out, so a
+//    committed transaction can never reference space beyond the persisted
+//    high-water mark. Space reserved by transactions that crashed before
+//    logging is leaked — the same trade Makalu makes and reclaims with GC;
+//    we document it instead (recovery tests assert bounded leakage).
+//  * Free-list pops/pushes are single 8-byte persisted stores. Atomicity
+//    with the owning transaction comes from the PTM's per-thread alloc log
+//    (see ptm/tx.h): the log entry persists before the pop does, and
+//    recovery re-inserts blocks of uncommitted transactions with a
+//    membership check (`free_block_if_absent`), making replay idempotent.
+//
+// Block format: one 8-byte header word [class_idx<<56 | payload_size]
+// immediately before the payload. Payloads are 8-byte aligned and sized in
+// multiples of 8 so the PTM's word-granular instrumentation is always safe.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "nvm/pool.h"
+#include "sim/context.h"
+#include "stats/counters.h"
+
+namespace alloc {
+
+class PersistentAllocator {
+ public:
+  static constexpr int kNumClasses = 16;
+  static constexpr size_t kMaxBlock = 64 * 1024;
+
+  explicit PersistentAllocator(nvm::Pool& pool);
+
+  /// Allocate a block of at least `n` bytes for `ctx`'s worker. Durable
+  /// before return (see header comment). Throws std::bad_alloc when the
+  /// heap is exhausted.
+  void* alloc(sim::ExecContext& ctx, stats::TxCounters* c, size_t n);
+
+  /// Return `p` (from alloc) to the worker's free list, durably.
+  void free_block(sim::ExecContext& ctx, stats::TxCounters* c, void* p);
+
+  /// Recovery-safe free: no-op if `p` is already on some free list.
+  void free_block_if_absent(sim::ExecContext& ctx, stats::TxCounters* c, void* p);
+
+  /// One-shot bump allocation for large, never-freed structures (container
+  /// bucket arrays, table heaps). 64-byte aligned.
+  void* alloc_raw(sim::ExecContext& ctx, stats::TxCounters* c, size_t n);
+
+  /// Usable payload size of a block returned by alloc().
+  size_t usable_size(const void* p) const;
+
+  /// Scan: is `p` currently on any worker's free list? (recovery helper)
+  bool in_free_list(const void* p);
+
+  /// Bytes between heap start and the persistent high-water mark.
+  uint64_t high_water_bytes() const;
+
+  static size_t class_size(int cls);
+  static int class_for(size_t n);
+
+  /// Hook invoked with the block's first payload word right before
+  /// free_block overwrites it with the free-list link. The PTM runtime
+  /// installs an orec-version bump here so concurrent transactions that
+  /// still hold a stale pointer to the block fail validation instead of
+  /// chasing a free-list offset (safe memory reclamation).
+  void set_reclaim_hook(std::function<void(void*)> hook) { reclaim_hook_ = std::move(hook); }
+
+ private:
+  // Heap prefix: [ bump_word | heads[max_workers][kNumClasses] ] then blocks.
+  struct HeapHeader {
+    uint64_t bump;  // persistent high-water offset from heap base
+    // heads follow, max_workers * kNumClasses words
+  };
+
+  uint64_t* head_slot(int worker, int cls) {
+    return heads_ + static_cast<size_t>(worker) * kNumClasses + cls;
+  }
+
+  void persist_word(sim::ExecContext& ctx, stats::TxCounters* c, uint64_t* w, uint64_t v);
+
+  nvm::Pool& pool_;
+  char* heap_;
+  size_t heap_bytes_;
+  // Atomically reserve `need` bytes at alignment `align` from the bump
+  // region and durably advance the persistent high-water mark. The
+  // reservation itself is a lock-free RMW (no simulated-time scheduling
+  // point may separate read and update — two workers would otherwise carve
+  // the same block), and the pmem word is advanced with a CAS-max so
+  // out-of-order persists can never regress it.
+  uint64_t reserve_bump(sim::ExecContext& ctx, stats::TxCounters* c, size_t need,
+                        size_t align);
+
+  uint64_t* bump_;     // &HeapHeader::bump (pmem, high-water mark)
+  std::atomic<uint64_t> bump_cache_{0};  // volatile reservation counter
+  uint64_t* heads_;    // pmem array
+  size_t data_start_;  // first usable offset after header
+  int max_workers_;
+  std::function<void(void*)> reclaim_hook_;
+};
+
+}  // namespace alloc

@@ -1,0 +1,176 @@
+#include "containers/bptree.h"
+
+#include <cassert>
+
+namespace cont {
+
+BPlusTree::Node* BPlusTree::new_node(ptm::Tx& tx, bool leaf) {
+  auto* n = static_cast<Node*>(tx.alloc(sizeof(Node)));
+  tx.write(&n->is_leaf, static_cast<uint64_t>(leaf ? 1 : 0));
+  tx.write(&n->count, uint64_t{0});
+  tx.write(&n->next, uint64_t{0});
+  return n;
+}
+
+void BPlusTree::create(ptm::Tx& tx, uint64_t* root_ptr) {
+  Node* root = new_node(tx, /*leaf=*/true);
+  tx.write(root_ptr, as_word(root));
+}
+
+uint64_t BPlusTree::lower_bound(ptm::Tx& tx, Node* n, uint64_t n_count, uint64_t key) {
+  uint64_t i = 0;
+  while (i < n_count && tx.read(&n->keys[i]) < key) i++;
+  return i;
+}
+
+void BPlusTree::split_child(ptm::Tx& tx, Node* parent, uint64_t child_idx, Node* child) {
+  const bool child_leaf = tx.read(&child->is_leaf) != 0;
+  Node* sib = new_node(tx, child_leaf);
+
+  // Move the upper half of `child` into `sib`.
+  constexpr uint64_t kHalf = kFanout / 2;
+  const uint64_t child_count = tx.read(&child->count);
+  assert(child_count == kFanout);
+  uint64_t promoted;
+  if (child_leaf) {
+    // Leaf split: sibling keeps keys [kHalf, kFanout); separator is the
+    // sibling's first key (duplicated upward, standard B+ semantics).
+    const uint64_t moved = child_count - kHalf;
+    for (uint64_t i = 0; i < moved; i++) {
+      tx.write(&sib->keys[i], tx.read(&child->keys[kHalf + i]));
+      tx.write(&sib->slots[i], tx.read(&child->slots[kHalf + i]));
+    }
+    tx.write(&sib->count, moved);
+    tx.write(&child->count, kHalf);
+    tx.write(&sib->next, tx.read(&child->next));
+    tx.write(&child->next, as_word(sib));
+    promoted = tx.read(&sib->keys[0]);
+  } else {
+    // Internal split: the middle key moves up, not into the sibling.
+    const uint64_t moved = child_count - kHalf - 1;
+    for (uint64_t i = 0; i < moved; i++) {
+      tx.write(&sib->keys[i], tx.read(&child->keys[kHalf + 1 + i]));
+      tx.write(&sib->slots[i], tx.read(&child->slots[kHalf + 1 + i]));
+    }
+    tx.write(&sib->slots[moved], tx.read(&child->slots[child_count]));
+    tx.write(&sib->count, moved);
+    tx.write(&child->count, kHalf);
+    promoted = tx.read(&child->keys[kHalf]);
+  }
+
+  // Shift the parent's keys/children right of child_idx and link `sib`.
+  const uint64_t pcount = tx.read(&parent->count);
+  for (uint64_t i = pcount; i > child_idx; i--) {
+    tx.write(&parent->keys[i], tx.read(&parent->keys[i - 1]));
+    tx.write(&parent->slots[i + 1], tx.read(&parent->slots[i]));
+  }
+  tx.write(&parent->keys[child_idx], promoted);
+  tx.write(&parent->slots[child_idx + 1], as_word(sib));
+  tx.write(&parent->count, pcount + 1);
+}
+
+bool BPlusTree::insert(ptm::Tx& tx, uint64_t* root_ptr, uint64_t key, uint64_t val) {
+  Node* root = as_node(tx.read(root_ptr));
+  if (tx.read(&root->count) == kFanout) {
+    // Grow: new internal root, then split the old root under it.
+    Node* nr = new_node(tx, /*leaf=*/false);
+    tx.write(&nr->slots[0], as_word(root));
+    split_child(tx, nr, 0, root);
+    tx.write(root_ptr, as_word(nr));
+    root = nr;
+  }
+
+  Node* n = root;
+  for (;;) {
+    const uint64_t count = tx.read(&n->count);
+    if (tx.read(&n->is_leaf) != 0) {
+      uint64_t i = lower_bound(tx, n, count, key);
+      if (i < count && tx.read(&n->keys[i]) == key) {
+        tx.write(&n->slots[i], val);
+        return false;
+      }
+      for (uint64_t j = count; j > i; j--) {
+        tx.write(&n->keys[j], tx.read(&n->keys[j - 1]));
+        tx.write(&n->slots[j], tx.read(&n->slots[j - 1]));
+      }
+      tx.write(&n->keys[i], key);
+      tx.write(&n->slots[i], val);
+      tx.write(&n->count, count + 1);
+      return true;
+    }
+    uint64_t i = lower_bound(tx, n, count, key);
+    // Descend into slots[i] for key < keys[i]; equal keys go right in this
+    // B+ variant (separators are copies of leaf keys).
+    if (i < count && tx.read(&n->keys[i]) == key) i++;
+    Node* child = as_node(tx.read(&n->slots[i]));
+    if (tx.read(&child->count) == kFanout) {
+      split_child(tx, n, i, child);
+      // Re-decide the branch around the newly promoted separator.
+      const uint64_t sep = tx.read(&n->keys[i]);
+      if (key >= sep) {
+        child = as_node(tx.read(&n->slots[i + 1]));
+      }
+    }
+    n = child;
+  }
+}
+
+bool BPlusTree::lookup(ptm::Tx& tx, uint64_t* root_ptr, uint64_t key, uint64_t* out) {
+  Node* n = as_node(tx.read(root_ptr));
+  for (;;) {
+    const uint64_t count = tx.read(&n->count);
+    uint64_t i = lower_bound(tx, n, count, key);
+    if (tx.read(&n->is_leaf) != 0) {
+      if (i < count && tx.read(&n->keys[i]) == key) {
+        if (out) *out = tx.read(&n->slots[i]);
+        return true;
+      }
+      return false;
+    }
+    if (i < count && tx.read(&n->keys[i]) == key) i++;
+    n = as_node(tx.read(&n->slots[i]));
+  }
+}
+
+bool BPlusTree::remove(ptm::Tx& tx, uint64_t* root_ptr, uint64_t key) {
+  Node* n = as_node(tx.read(root_ptr));
+  for (;;) {
+    const uint64_t count = tx.read(&n->count);
+    uint64_t i = lower_bound(tx, n, count, key);
+    if (tx.read(&n->is_leaf) != 0) {
+      if (i >= count || tx.read(&n->keys[i]) != key) return false;
+      for (uint64_t j = i; j + 1 < count; j++) {
+        tx.write(&n->keys[j], tx.read(&n->keys[j + 1]));
+        tx.write(&n->slots[j], tx.read(&n->slots[j + 1]));
+      }
+      tx.write(&n->count, count - 1);
+      return true;
+    }
+    if (i < count && tx.read(&n->keys[i]) == key) i++;
+    n = as_node(tx.read(&n->slots[i]));
+  }
+}
+
+uint64_t BPlusTree::range_count(ptm::Tx& tx, uint64_t* root_ptr, uint64_t lo, uint64_t hi) {
+  // Descend to the leftmost leaf that may contain `lo`.
+  Node* n = as_node(tx.read(root_ptr));
+  while (tx.read(&n->is_leaf) == 0) {
+    const uint64_t count = tx.read(&n->count);
+    uint64_t i = lower_bound(tx, n, count, lo);
+    if (i < count && tx.read(&n->keys[i]) == lo) i++;
+    n = as_node(tx.read(&n->slots[i]));
+  }
+  uint64_t total = 0;
+  while (n != nullptr) {
+    const uint64_t count = tx.read(&n->count);
+    for (uint64_t i = 0; i < count; i++) {
+      const uint64_t k = tx.read(&n->keys[i]);
+      if (k > hi) return total;
+      if (k >= lo) total++;
+    }
+    n = as_node(tx.read(&n->next));
+  }
+  return total;
+}
+
+}  // namespace cont

@@ -1,0 +1,66 @@
+// Persistent transactional B+Tree (uint64 keys -> uint64 values).
+//
+// This is the benchmark structure from DudeTM [16] that the paper uses for
+// the B+Tree microbenchmarks and the TPCC B+Tree index. Every node access
+// goes through the transaction (tx.read/tx.write), so the tree is linear-
+// izable and durable under whichever PTM algorithm the runtime runs.
+//
+// Structure notes:
+//  * top-down insertion with preemptive splits (full children are split on
+//    the way down), so no parent back-tracking is needed;
+//  * deletion is leaf-local (key removal without rebalancing), as is usual
+//    for STM benchmark trees — underfull leaves are tolerated;
+//  * leaves are chained for ordered scans.
+#pragma once
+
+#include <cstdint>
+
+#include "ptm/tx.h"
+
+namespace cont {
+
+class BPlusTree {
+ public:
+  static constexpr int kFanout = 16;  // max keys per node
+
+  struct Node {
+    uint64_t is_leaf;
+    uint64_t count;
+    uint64_t next;  // leaf chain (0 for internal nodes / last leaf)
+    uint64_t keys[kFanout];
+    // Leaf: values[i] pairs with keys[i]. Internal: children[i] holds
+    // keys < keys[i]; children[count] holds the rest.
+    uint64_t slots[kFanout + 1];
+  };
+
+  /// Initialize an empty tree whose root pointer lives at `*root_ptr`
+  /// (a pmem word owned by the caller, e.g. a field of the app root).
+  static void create(ptm::Tx& tx, uint64_t* root_ptr);
+
+  /// Insert key->val. Returns false (and overwrites the value) if the key
+  /// was already present.
+  static bool insert(ptm::Tx& tx, uint64_t* root_ptr, uint64_t key, uint64_t val);
+
+  /// Point lookup; returns false if absent.
+  static bool lookup(ptm::Tx& tx, uint64_t* root_ptr, uint64_t key, uint64_t* out);
+
+  /// Remove a key; returns false if absent.
+  static bool remove(ptm::Tx& tx, uint64_t* root_ptr, uint64_t key);
+
+  /// Number of keys in [lo, hi], by walking the leaf chain (test helper).
+  static uint64_t range_count(ptm::Tx& tx, uint64_t* root_ptr, uint64_t lo, uint64_t hi);
+
+ private:
+  static Node* new_node(ptm::Tx& tx, bool leaf);
+  static Node* as_node(uint64_t word) { return reinterpret_cast<Node*>(word); }
+  static uint64_t as_word(Node* n) { return reinterpret_cast<uint64_t>(n); }
+
+  // Split the full child at `child_idx` of `parent`; the new sibling takes
+  // the upper half. Returns the separator key promoted into the parent.
+  static void split_child(ptm::Tx& tx, Node* parent, uint64_t child_idx, Node* child);
+
+  // Index of the first key in `n` that is >= key (transactional search).
+  static uint64_t lower_bound(ptm::Tx& tx, Node* n, uint64_t n_count, uint64_t key);
+};
+
+}  // namespace cont

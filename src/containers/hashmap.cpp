@@ -1,0 +1,120 @@
+#include "containers/hashmap.h"
+
+#include "ptm/runtime.h"
+
+namespace cont {
+namespace {
+
+uint64_t round_pow2(uint64_t v) {
+  uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+void HashMap::create(ptm::Tx& tx, Handle* h, uint64_t nbuckets_hint) {
+  const uint64_t nb = round_pow2(nbuckets_hint == 0 ? 1 : nbuckets_hint);
+  // The bucket array can exceed the allocator's block-size classes, so it
+  // comes from the raw bump region (never freed — same as DudeTM's fixed
+  // tables). alloc_raw returns zeroed memory (fresh pool pages are zeroed).
+  auto& rt = tx.runtime();
+  void* arr = rt.allocator().alloc_raw(tx.ctx(), nullptr, nb * 8);
+  tx.write(&h->nbuckets, nb);
+  tx.write(&h->buckets, reinterpret_cast<uint64_t>(arr));
+}
+
+uint64_t* HashMap::bucket_for(ptm::Tx& tx, Handle* h, uint64_t key, uint64_t nbuckets,
+                              uint64_t buckets_word) {
+  (void)tx;
+  (void)h;
+  auto* arr = reinterpret_cast<uint64_t*>(buckets_word);
+  return &arr[mix(key) & (nbuckets - 1)];
+}
+
+bool HashMap::insert(ptm::Tx& tx, Handle* h, uint64_t key, uint64_t val) {
+  const uint64_t nb = tx.read(&h->nbuckets);
+  const uint64_t arr = tx.read(&h->buckets);
+  uint64_t* bucket = bucket_for(tx, h, key, nb, arr);
+  const uint64_t head = tx.read(bucket);
+
+  for (uint64_t cur = head; cur != 0;) {
+    auto* n = reinterpret_cast<Node*>(cur);
+    if (tx.read(&n->key) == key) {
+      tx.write(&n->val, val);
+      return false;
+    }
+    cur = tx.read(&n->next);
+  }
+  auto* n = tx.alloc_obj<Node>();
+  tx.write(&n->key, key);
+  tx.write(&n->val, val);
+  tx.write(&n->next, head);
+  tx.write(bucket, reinterpret_cast<uint64_t>(n));
+  return true;
+}
+
+bool HashMap::lookup(ptm::Tx& tx, Handle* h, uint64_t key, uint64_t* out) {
+  const uint64_t nb = tx.read(&h->nbuckets);
+  const uint64_t arr = tx.read(&h->buckets);
+  uint64_t* bucket = bucket_for(tx, h, key, nb, arr);
+  for (uint64_t cur = tx.read(bucket); cur != 0;) {
+    auto* n = reinterpret_cast<Node*>(cur);
+    if (tx.read(&n->key) == key) {
+      if (out) *out = tx.read(&n->val);
+      return true;
+    }
+    cur = tx.read(&n->next);
+  }
+  return false;
+}
+
+bool HashMap::update(ptm::Tx& tx, Handle* h, uint64_t key, uint64_t val) {
+  const uint64_t nb = tx.read(&h->nbuckets);
+  const uint64_t arr = tx.read(&h->buckets);
+  uint64_t* bucket = bucket_for(tx, h, key, nb, arr);
+  for (uint64_t cur = tx.read(bucket); cur != 0;) {
+    auto* n = reinterpret_cast<Node*>(cur);
+    if (tx.read(&n->key) == key) {
+      tx.write(&n->val, val);
+      return true;
+    }
+    cur = tx.read(&n->next);
+  }
+  return false;
+}
+
+bool HashMap::remove(ptm::Tx& tx, Handle* h, uint64_t key) {
+  const uint64_t nb = tx.read(&h->nbuckets);
+  const uint64_t arr = tx.read(&h->buckets);
+  uint64_t* bucket = bucket_for(tx, h, key, nb, arr);
+  uint64_t* link = bucket;
+  for (uint64_t cur = tx.read(link); cur != 0;) {
+    auto* n = reinterpret_cast<Node*>(cur);
+    if (tx.read(&n->key) == key) {
+      tx.write(link, tx.read(&n->next));
+      tx.dealloc(n);
+      return true;
+    }
+    link = &n->next;
+    cur = tx.read(link);
+  }
+  return false;
+}
+
+uint64_t HashMap::size(ptm::Tx& tx, Handle* h) {
+  const uint64_t nb = tx.read(&h->nbuckets);
+  const uint64_t arr_word = tx.read(&h->buckets);
+  auto* arr = reinterpret_cast<uint64_t*>(arr_word);
+  uint64_t total = 0;
+  for (uint64_t b = 0; b < nb; b++) {
+    for (uint64_t cur = tx.read(&arr[b]); cur != 0;) {
+      auto* n = reinterpret_cast<Node*>(cur);
+      total++;
+      cur = tx.read(&n->next);
+    }
+  }
+  return total;
+}
+
+}  // namespace cont

@@ -1,0 +1,60 @@
+// Persistent transactional chained hash map (uint64 keys -> uint64 values).
+//
+// The TPCC Hash-Table index variant and TATP's tables use this. The bucket
+// array is a one-shot raw allocation (created at setup, never resized, as
+// in the DudeTM benchmarks); nodes are transactionally allocated/freed.
+#pragma once
+
+#include <cstdint>
+
+#include "alloc/persistent_alloc.h"
+#include "ptm/tx.h"
+
+namespace cont {
+
+class HashMap {
+ public:
+  struct Node {
+    uint64_t key;
+    uint64_t val;
+    uint64_t next;
+  };
+
+  /// Persistent handle: place one of these in the application root (or any
+  /// pmem location) and call create() once before use.
+  struct Handle {
+    uint64_t nbuckets;  // power of two
+    uint64_t buckets;   // pointer to the bucket head array
+  };
+
+  /// Allocate the bucket array (rounded up to a power of two) and
+  /// initialize `h`. Must run inside a transaction.
+  static void create(ptm::Tx& tx, Handle* h, uint64_t nbuckets_hint);
+
+  /// Insert key->val; returns false (and overwrites) if the key existed.
+  static bool insert(ptm::Tx& tx, Handle* h, uint64_t key, uint64_t val);
+
+  /// Point lookup; returns false if absent.
+  static bool lookup(ptm::Tx& tx, Handle* h, uint64_t key, uint64_t* out);
+
+  /// Overwrite an existing key; returns false if absent.
+  static bool update(ptm::Tx& tx, Handle* h, uint64_t key, uint64_t val);
+
+  /// Remove; returns false if absent. The node is transactionally freed.
+  static bool remove(ptm::Tx& tx, Handle* h, uint64_t key);
+
+  /// Total keys (test helper; O(buckets + keys)).
+  static uint64_t size(ptm::Tx& tx, Handle* h);
+
+ private:
+  static uint64_t* bucket_for(ptm::Tx& tx, Handle* h, uint64_t key, uint64_t nbuckets,
+                              uint64_t buckets_word);
+  static uint64_t mix(uint64_t key) {
+    key ^= key >> 33;
+    key *= 0xff51afd7ed558ccdull;
+    key ^= key >> 33;
+    return key;
+  }
+};
+
+}  // namespace cont

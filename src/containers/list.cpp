@@ -1,0 +1,82 @@
+#include "containers/list.h"
+
+namespace cont {
+
+void SortedList::create(ptm::Tx& tx, uint64_t* head) { tx.write(head, uint64_t{0}); }
+
+bool SortedList::insert(ptm::Tx& tx, uint64_t* head, uint64_t key, uint64_t val) {
+  uint64_t* link = head;
+  for (uint64_t cur = tx.read(link); cur != 0;) {
+    auto* n = reinterpret_cast<Node*>(cur);
+    const uint64_t k = tx.read(&n->key);
+    if (k == key) {
+      tx.write(&n->val, val);
+      return false;
+    }
+    if (k > key) break;
+    link = &n->next;
+    cur = tx.read(link);
+  }
+  auto* node = tx.alloc_obj<Node>();
+  tx.write(&node->key, key);
+  tx.write(&node->val, val);
+  tx.write(&node->next, tx.read(link));
+  tx.write(link, reinterpret_cast<uint64_t>(node));
+  return true;
+}
+
+bool SortedList::lookup(ptm::Tx& tx, uint64_t* head, uint64_t key, uint64_t* out) {
+  for (uint64_t cur = tx.read(head); cur != 0;) {
+    auto* n = reinterpret_cast<Node*>(cur);
+    const uint64_t k = tx.read(&n->key);
+    if (k == key) {
+      if (out) *out = tx.read(&n->val);
+      return true;
+    }
+    if (k > key) return false;
+    cur = tx.read(&n->next);
+  }
+  return false;
+}
+
+bool SortedList::remove(ptm::Tx& tx, uint64_t* head, uint64_t key) {
+  uint64_t* link = head;
+  for (uint64_t cur = tx.read(link); cur != 0;) {
+    auto* n = reinterpret_cast<Node*>(cur);
+    const uint64_t k = tx.read(&n->key);
+    if (k == key) {
+      tx.write(link, tx.read(&n->next));
+      tx.dealloc(n);
+      return true;
+    }
+    if (k > key) return false;
+    link = &n->next;
+    cur = tx.read(link);
+  }
+  return false;
+}
+
+uint64_t SortedList::size(ptm::Tx& tx, uint64_t* head) {
+  uint64_t n = 0;
+  for (uint64_t cur = tx.read(head); cur != 0;) {
+    n++;
+    cur = tx.read(&reinterpret_cast<Node*>(cur)->next);
+  }
+  return n;
+}
+
+bool SortedList::is_sorted(ptm::Tx& tx, uint64_t* head) {
+  uint64_t prev = 0;
+  bool first = true;
+  for (uint64_t cur = tx.read(head); cur != 0;) {
+    auto* n = reinterpret_cast<Node*>(cur);
+    const uint64_t k = tx.read(&n->key);
+    if (!first && k <= prev) return false;
+    prev = k;
+    first = false;
+    cur = tx.read(&n->next);
+  }
+  return true;
+}
+
+}  // namespace cont

@@ -1,0 +1,40 @@
+// Persistent transactional sorted linked list (uint64 keys -> uint64
+// values). The classic STM benchmark structure — long traversal read sets
+// make it the stress test for read-set validation cost and for safe
+// memory reclamation of unlinked nodes.
+#pragma once
+
+#include <cstdint>
+
+#include "ptm/tx.h"
+
+namespace cont {
+
+class SortedList {
+ public:
+  struct Node {
+    uint64_t key;
+    uint64_t val;
+    uint64_t next;
+  };
+
+  /// Handle: a single pmem word holding the head pointer (sentinel-free;
+  /// 0 = empty). Caller owns the word (e.g. a root field).
+  static void create(ptm::Tx& tx, uint64_t* head);
+
+  /// Insert key->val in sorted position; returns false (and overwrites)
+  /// if the key already exists.
+  static bool insert(ptm::Tx& tx, uint64_t* head, uint64_t key, uint64_t val);
+
+  static bool lookup(ptm::Tx& tx, uint64_t* head, uint64_t key, uint64_t* out);
+
+  /// Remove a key; the node is transactionally freed.
+  static bool remove(ptm::Tx& tx, uint64_t* head, uint64_t key);
+
+  static uint64_t size(ptm::Tx& tx, uint64_t* head);
+
+  /// True iff keys are strictly increasing along the chain (test helper).
+  static bool is_sorted(ptm::Tx& tx, uint64_t* head);
+};
+
+}  // namespace cont

@@ -1,0 +1,38 @@
+#include "containers/queue.h"
+
+namespace cont {
+
+void Queue::create(ptm::Tx& tx, Handle* q) {
+  tx.write(&q->head, uint64_t{0});
+  tx.write(&q->tail, uint64_t{0});
+  tx.write(&q->count, uint64_t{0});
+}
+
+void Queue::enqueue(ptm::Tx& tx, Handle* q, uint64_t val) {
+  auto* node = tx.alloc_obj<Node>();
+  tx.write(&node->val, val);
+  tx.write(&node->next, uint64_t{0});
+  const uint64_t tail = tx.read(&q->tail);
+  if (tail == 0) {
+    tx.write(&q->head, reinterpret_cast<uint64_t>(node));
+  } else {
+    tx.write(&reinterpret_cast<Node*>(tail)->next, reinterpret_cast<uint64_t>(node));
+  }
+  tx.write(&q->tail, reinterpret_cast<uint64_t>(node));
+  tx.write(&q->count, tx.read(&q->count) + 1);
+}
+
+bool Queue::dequeue(ptm::Tx& tx, Handle* q, uint64_t* out) {
+  const uint64_t head = tx.read(&q->head);
+  if (head == 0) return false;
+  auto* node = reinterpret_cast<Node*>(head);
+  if (out) *out = tx.read(&node->val);
+  const uint64_t next = tx.read(&node->next);
+  tx.write(&q->head, next);
+  if (next == 0) tx.write(&q->tail, uint64_t{0});
+  tx.write(&q->count, tx.read(&q->count) - 1);
+  tx.dealloc(node);
+  return true;
+}
+
+}  // namespace cont

@@ -1,0 +1,37 @@
+// Persistent transactional FIFO queue (Michael-Scott-style layout, but
+// coordination is entirely by the PTM — the paper's point is that
+// transactions make such structures trivially crash-consistent, where
+// hand-crafted persistent queues are research results [13]).
+#pragma once
+
+#include <cstdint>
+
+#include "ptm/tx.h"
+
+namespace cont {
+
+class Queue {
+ public:
+  struct Node {
+    uint64_t val;
+    uint64_t next;
+  };
+
+  /// Persistent handle (place in pmem, e.g. a root field).
+  struct Handle {
+    uint64_t head;  // oldest node (0 = empty)
+    uint64_t tail;  // newest node
+    uint64_t count;
+  };
+
+  static void create(ptm::Tx& tx, Handle* q);
+
+  static void enqueue(ptm::Tx& tx, Handle* q, uint64_t val);
+
+  /// Returns false if the queue is empty.
+  static bool dequeue(ptm::Tx& tx, Handle* q, uint64_t* out);
+
+  static uint64_t size(ptm::Tx& tx, Handle* q) { return tx.read(&q->count); }
+};
+
+}  // namespace cont

@@ -1,0 +1,59 @@
+// Set-associative last-level-cache (L3) tag model.
+//
+// The model tracks tags only (no data): the live bytes are in host memory;
+// the model decides whether an instrumented access is an L3 hit or miss and
+// which dirty line an install evicts. That is all the timing model needs,
+// and it is what makes the memcached working-set experiment (paper Fig 8)
+// reproducible: the 32MB-vs-32GB cliff is purely a function of tag capacity.
+//
+// Replacement is true-LRU within a set (deterministic, which the
+// discrete-event engine requires for replayability).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nvm {
+
+class CacheModel {
+ public:
+  static constexpr uint64_t kNoLine = ~0ull;
+
+  struct AccessResult {
+    bool hit;
+    uint64_t evicted_dirty_line;  // kNoLine if none
+  };
+
+  /// `bytes` total capacity, `ways` associativity; line size is 64 B.
+  CacheModel(uint64_t bytes, int ways);
+
+  /// Look up + install `line` (an address >> 6). `is_write` marks dirty.
+  AccessResult access(uint64_t line, bool is_write);
+
+  /// Remove `line` (clwb/clflush semantics: line is written back and, for
+  /// modelling purposes, dropped from the dirty state). Returns true if the
+  /// line was present and dirty.
+  bool clean(uint64_t line);
+
+  void reset();
+
+  uint64_t num_sets() const { return num_sets_; }
+
+ private:
+  struct Way {
+    uint64_t tag = kNoLine;
+    uint64_t lru = 0;
+    bool dirty = false;
+  };
+
+  int ways_;
+  uint64_t num_sets_;
+  uint64_t tick_ = 0;
+  std::vector<Way> ways_store_;  // num_sets_ * ways_, row-major by set
+
+  Way* set_of(uint64_t line) {
+    return &ways_store_[(line % num_sets_) * static_cast<uint64_t>(ways_)];
+  }
+};
+
+}  // namespace nvm

@@ -1,0 +1,3 @@
+#include "nvm/channel.h"
+
+// Header-only; TU kept for build-list uniformity.

@@ -1,0 +1,17 @@
+#include "nvm/cost_model.h"
+
+namespace nvm {
+
+const char* media_name(Media m) { return m == Media::kDram ? "DRAM" : "Optane"; }
+
+const char* domain_name(Domain d) {
+  switch (d) {
+    case Domain::kAdr: return "ADR";
+    case Domain::kEadr: return "eADR";
+    case Domain::kPdram: return "PDRAM";
+    case Domain::kPdramLite: return "PDRAM-Lite";
+  }
+  return "?";
+}
+
+}  // namespace nvm

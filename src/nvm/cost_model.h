@@ -1,0 +1,79 @@
+// Timing parameters of the modelled machine.
+//
+// Defaults are calibrated from the numbers the paper reports or cites
+// (Izraelevitz et al., "Basic Performance Measurements of the Intel Optane
+// DC Persistent Memory Module"):
+//  * clwb latency 86 ns to DRAM, 94 ns to Optane (paper §III.A);
+//  * L3-miss load latency ~3x higher on Optane than DRAM (paper §III.B);
+//  * Optane write bandwidth saturates with ~4 writer threads while read
+//    bandwidth needs ~17 threads (paper §III.B / [46]) — expressed here as
+//    per-line service times on shared bandwidth channels;
+//  * WPQ (write pending queue) capacity is small and bounded, which is the
+//    paper's explanation for eADR scalability loss.
+#pragma once
+
+#include <cstdint>
+
+namespace nvm {
+
+/// Physical backing media of the persistent heap. The paper's "DRAM"
+/// curves place the (nominally persistent) heap in a DRAM ramdisk.
+enum class Media : uint8_t { kDram = 0, kOptane = 1 };
+
+/// Durability domain (paper Figures 2 and 5).
+enum class Domain : uint8_t {
+  kAdr = 0,       // flush with clwb, order with sfence; WPQ is persistent
+  kEadr = 1,      // caches flushed on power failure; no explicit flushes
+  kPdram = 2,     // all of DRAM is a persistent cache of Optane (Fig 5a)
+  kPdramLite = 3  // only redo-log pages are persistent DRAM (Fig 5b)
+};
+
+const char* media_name(Media m);
+const char* domain_name(Domain d);
+
+struct CostModel {
+  // --- per-access latencies (ns) ---
+  double l1_hit_ns = 1.5;        // base cost of any instrumented access
+  double l3_hit_ns = 18.0;       // L3 hit on an L1/L2 miss (we fold L1/L2)
+  double dram_load_ns = 81.0;    // L3 miss served by DRAM
+  double optane_load_ns = 243.0; // L3 miss served by Optane (3x DRAM)
+  double store_ns = 2.0;         // store into the cache hierarchy
+  double cas_ns = 9.0;           // atomic RMW (orec acquire/release)
+
+  // --- persistence instructions ---
+  double clwb_issue_ns = 12.0;    // CPU-side cost of issuing clwb
+  double clwb_dram_lat_ns = 86.0; // line reaches the ADR domain (DRAM)
+  double clwb_optane_lat_ns = 94.0; // line reaches the ADR domain (Optane)
+  double sfence_ns = 15.0;        // fence base cost (plus drain wait)
+
+  // --- bandwidth channels: service ns per 64-byte line ---
+  // Sustained bandwidth = 64 B / svc. Chosen so saturation thread counts
+  // match [46]: Optane writes saturate ~4 threads, reads ~17 threads.
+  double dram_read_svc_ns = 2.2;     // ~29 GB/s
+  double dram_write_svc_ns = 4.5;    // ~14 GB/s
+  double optane_read_svc_ns = 14.0;  // ~4.6 GB/s
+  double optane_write_svc_ns = 27.0; // ~2.4 GB/s
+
+  // --- structure sizes ---
+  int wpq_capacity = 64;  // lines pending in the memory controller
+
+  // --- PTM runtime costs ---
+  double tx_begin_ns = 20.0;
+  double tx_commit_ns = 30.0;
+  double backoff_base_ns = 150.0;  // exponential backoff seed after abort
+
+  double load_latency_ns(Media m) const {
+    return m == Media::kDram ? dram_load_ns : optane_load_ns;
+  }
+  double clwb_latency_ns(Media m) const {
+    return m == Media::kDram ? clwb_dram_lat_ns : clwb_optane_lat_ns;
+  }
+  double read_svc_ns(Media m) const {
+    return m == Media::kDram ? dram_read_svc_ns : optane_read_svc_ns;
+  }
+  double write_svc_ns(Media m) const {
+    return m == Media::kDram ? dram_write_svc_ns : optane_write_svc_ns;
+  }
+};
+
+}  // namespace nvm

@@ -1,0 +1,17 @@
+#include "nvm/domain.h"
+
+namespace nvm {
+
+std::string SystemConfig::name() const {
+  // PDRAM domains imply Optane backing; the paper labels those curves by
+  // domain alone.
+  if (domain == Domain::kPdram) return "PDRAM";
+  if (domain == Domain::kPdramLite) return "PDRAM-Lite";
+  std::string n = media_name(media);
+  n += "_";
+  n += domain_name(domain);
+  if (elide_fences) n += "_nofence";
+  return n;
+}
+
+}  // namespace nvm

@@ -1,0 +1,62 @@
+// System configuration: media, durability domain, model parameters.
+//
+// One SystemConfig describes one experimental configuration from the paper,
+// e.g. "Optane_ADR" or "DRAM_eADR" in Figures 3/4, or "PDRAM" / "PDRAM-Lite"
+// in Figures 6/7. The PTM runtime and the memory model both read it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nvm/cost_model.h"
+
+namespace nvm {
+
+/// Which logical region of the persistent pool an access touches. The
+/// distinction matters only for PDRAM-Lite, where redo-log pages live in
+/// battery-backed DRAM while data pages stay on Optane (paper §IV.B).
+enum class Space : uint8_t { kData = 0, kLog = 1 };
+
+struct SystemConfig {
+  Media media = Media::kOptane;   // backing media of the persistent heap
+  Domain domain = Domain::kAdr;
+
+  /// Table III variant: keep clwb instructions but skip all sfences. This
+  /// is deliberately *incorrect* for durability; used only to measure the
+  /// fraction of ADR overhead attributable to fences.
+  bool elide_fences = false;
+
+  /// Track a shadow persistence image so tests can simulate a power
+  /// failure and exercise recovery. Off for performance runs.
+  bool crash_sim = false;
+
+  /// Charge modelled time under the discrete-event engine.
+  bool model_timing = true;
+
+  // Crash-simulation adversary: probability that a dirty-but-unflushed
+  // line (or a clwb'd-but-unfenced line) happens to persist anyway, as a
+  // real cache/WPQ might spontaneously write it back before the failure.
+  double crash_evict_prob = 0.3;
+  double crash_pending_prob = 0.5;
+
+  CostModel cost;
+
+  // Modelled hierarchy geometry.
+  uint64_t l3_bytes = 32ull << 20;
+  int l3_ways = 16;
+  uint64_t dram_cache_bytes = 96ull << 20;  // PDRAM directory capacity
+
+  // Pool geometry.
+  size_t pool_size = 64ull << 20;
+  int max_workers = 33;
+  size_t per_worker_meta_bytes = 1ull << 19;  // per-thread log + status area
+
+  /// "Optane_ADR", "DRAM_eADR", "PDRAM", "PDRAM-Lite", ... — matches the
+  /// curve labels used in the paper's figures.
+  std::string name() const;
+
+  /// True when the algorithm must issue clwb/sfence (ADR only).
+  bool needs_flushes() const { return domain == Domain::kAdr; }
+};
+
+}  // namespace nvm

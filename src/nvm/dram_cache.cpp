@@ -1,0 +1,26 @@
+#include "nvm/dram_cache.h"
+
+namespace nvm {
+
+DramCacheDirectory::DramCacheDirectory(uint64_t capacity_bytes) {
+  num_slots_ = capacity_bytes / 64;
+  if (num_slots_ == 0) num_slots_ = 1;
+  slots_.assign(num_slots_, Slot{});
+}
+
+DramCacheDirectory::AccessResult DramCacheDirectory::access(uint64_t line, bool is_write) {
+  Slot& s = slots_[line % num_slots_];
+  if (s.tag == line) {
+    s.dirty |= is_write;
+    return {true, kNoLine};
+  }
+  uint64_t evicted = kNoLine;
+  if (s.tag != kNoLine && s.dirty) evicted = s.tag;
+  s.tag = line;
+  s.dirty = is_write;
+  return {false, evicted};
+}
+
+void DramCacheDirectory::reset() { slots_.assign(slots_.size(), Slot{}); }
+
+}  // namespace nvm

@@ -1,0 +1,50 @@
+// Memory-Mode DRAM cache directory.
+//
+// In Intel Memory Mode the on-CPU memory controller keeps a directory (DIR
+// in paper Fig 1a) that lets DRAM act as a direct-mapped, line-granularity
+// cache of Optane physical memory. The paper's PDRAM proposal (Fig 5a)
+// reuses exactly this mechanism and adds reserve power, so DRAM becomes a
+// *persistent* cache. We model the directory as direct-mapped over 64-byte
+// lines (matching the real Memory-Mode implementation):
+//   * hit  -> the access is served at DRAM cost;
+//   * miss -> the line is fetched from Optane; if the victim slot is dirty
+//     the victim line is written back to Optane (asynchronously — it books
+//     the Optane write channel but the accessor does not wait for it).
+//
+// The capacity parameter is what produces the paper's Fig 8 cliff when the
+// working set stops fitting in DRAM.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nvm {
+
+class DramCacheDirectory {
+ public:
+  static constexpr uint64_t kNoLine = ~0ull;
+
+  struct AccessResult {
+    bool hit;
+    uint64_t evicted_dirty_line;  // kNoLine if clean / empty victim
+  };
+
+  explicit DramCacheDirectory(uint64_t capacity_bytes);
+
+  AccessResult access(uint64_t line, bool is_write);
+
+  void reset();
+
+  uint64_t num_slots() const { return num_slots_; }
+
+ private:
+  struct Slot {
+    uint64_t tag = kNoLine;
+    bool dirty = false;
+  };
+
+  uint64_t num_slots_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace nvm

@@ -1,0 +1,67 @@
+// Energy model for the durability domains — the paper's declared future
+// work (§V: "we plan to investigate the energy consumption of the
+// durability domains", and §IV.B's reserve-power discussion).
+//
+// Two parts:
+//
+//  1. **Dynamic energy**: per-event costs accumulated alongside the timing
+//     model (stats::TxCounters::energy_pj). Constants are literature-level
+//     estimates (documented, configurable), good for *relative* domain
+//     comparisons: Optane writes are by far the most expensive event, so
+//     ADR's uncoalesced write-through (every clwb pushes a line) draws more
+//     DIMM power than eADR's coalesced natural evictions — exactly the
+//     paper's §IV.B claim.
+//
+//  2. **Reserve energy**: how much stored energy a power failure needs per
+//     domain (paper Fig 2/5 discussion):
+//       ADR        — drain the WPQ only;
+//       eADR       — flush all (potentially dirty) L3 lines as well;
+//       PDRAM      — write every dirty DRAM-cache line back to Optane,
+//                    keeping CPU+DRAM alive for the whole drain (the ">10s,
+//                    lithium-ion battery" regime of §IV.B);
+//       PDRAM-Lite — eADR plus a bounded number of log pages per thread.
+#pragma once
+
+#include <cstdint>
+
+#include "nvm/domain.h"
+
+namespace nvm {
+
+struct EnergyModel {
+  // --- dynamic energy per 64-byte line event (picojoules) ---
+  // Ballpark constants from public DRAM/Optane characterization studies;
+  // absolute values are estimates, ratios are what matters.
+  double cache_hit_pj = 1'000;         // ~1 nJ: on-die access
+  double dram_read_pj = 20'000;        // ~20 nJ per line
+  double dram_write_pj = 26'000;
+  double optane_read_pj = 160'000;     // ~0.16 uJ per line
+  double optane_write_pj = 470'000;    // ~0.47 uJ per line (the big one)
+  double clwb_issue_pj = 2'000;
+  double sfence_pj = 1'500;
+
+  double read_pj(Media m) const { return m == Media::kDram ? dram_read_pj : optane_read_pj; }
+  double write_pj(Media m) const {
+    return m == Media::kDram ? dram_write_pj : optane_write_pj;
+  }
+
+  // --- reserve-energy estimation (joules) ---
+  // System-level constants for the drain scenario.
+  double system_power_w = 150.0;       // CPU+fabric kept alive during drain
+  double dram_power_per_gb_w = 0.4;    // refresh + standby
+  double optane_write_bw_gbps = 2.4;   // drain bandwidth (matches CostModel)
+
+  /// Estimated worst-case reserve energy (joules) to guarantee durability
+  /// under `cfg`'s domain at power-failure time.
+  double reserve_energy_j(const SystemConfig& cfg) const;
+
+  /// Worst-case drain time (seconds) the reserve must cover.
+  double drain_seconds(const SystemConfig& cfg) const;
+
+  /// Human-readable backing suggestion for that much reserve ("ADR supply
+  /// hold-up" / "capacitor bank" / "lithium-ion battery"), following the
+  /// paper's qualitative argument.
+  static const char* reserve_technology(double joules);
+};
+
+}  // namespace nvm

@@ -1,0 +1,348 @@
+#include "nvm/memory.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace nvm {
+
+Memory::Memory(const SystemConfig& cfg, char* base, size_t size)
+    : cfg_(cfg),
+      base_(base),
+      size_(size),
+      num_lines_(size / kLineBytes),
+      // Leave a guard gap so pool lines and synthetic lines never collide.
+      virt_base_line_(num_lines_ + (1ull << 20)),
+      l3_(cfg.l3_bytes, cfg.l3_ways),
+      dram_dir_(cfg.dram_cache_bytes),
+      wpq_(cfg.cost.wpq_capacity, cfg.max_workers) {
+  if (cfg_.crash_sim) {
+    image_.reset(new unsigned char[size_]);
+    std::memcpy(image_.get(), base_, size_);
+    dirty_bitmap_.assign((num_lines_ + 63) / 64, 0);
+    pending_.assign(static_cast<size_t>(cfg_.max_workers), {});
+  }
+}
+
+Media Memory::media_of(uint64_t line, Space space) const {
+  // PDRAM-Lite: redo-log pages live in battery-backed DRAM (paper §IV.B).
+  if (cfg_.domain == Domain::kPdramLite &&
+      (space == Space::kLog || is_log_line(line))) {
+    return Media::kDram;
+  }
+  return cfg_.media;
+}
+
+void Memory::model_addr(sim::ExecContext& ctx, stats::TxCounters* c, const void* addr,
+                        size_t len, bool is_write, Space space) {
+  if (c) {
+    if (is_write) c->pmem_stores++; else c->pmem_loads++;
+  }
+  if (!cfg_.model_timing || !ctx.is_simulated()) return;
+  const uint64_t first = line_of(addr);
+  const uint64_t last = line_of(static_cast<const char*>(addr) + (len ? len - 1 : 0));
+  for (uint64_t line = first; line <= last; line++) {
+    model_line(ctx, c, line, is_write, space);
+  }
+}
+
+void Memory::touch_lines(sim::ExecContext& ctx, stats::TxCounters* c, uint64_t first_line,
+                         size_t nlines, bool is_write, Space space) {
+  if (c) {
+    if (is_write) c->pmem_stores += nlines; else c->pmem_loads += nlines;
+  }
+  if (!cfg_.model_timing || !ctx.is_simulated()) return;
+  for (size_t i = 0; i < nlines; i++) {
+    model_line(ctx, c, first_line + i, is_write, space);
+  }
+}
+
+void Memory::model_line(sim::ExecContext& ctx, stats::TxCounters* c, uint64_t line,
+                        bool is_write, Space space) {
+  const CostModel& cm = cfg_.cost;
+  double cost = cm.l1_hit_ns;
+
+  const Media med = media_of(line, space);
+  const bool via_dir = cfg_.domain == Domain::kPdram && cfg_.media == Media::kOptane &&
+                       med == Media::kOptane;
+
+  const CacheModel::AccessResult l3r = l3_.access(line, is_write);
+  if (l3r.evicted_dirty_line != CacheModel::kNoLine) {
+    background_writeback(ctx, c, l3r.evicted_dirty_line);
+  }
+
+  if (l3r.hit) {
+    if (c) {
+      c->l3_hits++;
+      c->energy_pj += energy_.cache_hit_pj;
+    }
+    cost += is_write ? cm.store_ns : cm.l3_hit_ns;
+    ctx.advance(static_cast<uint64_t>(cost));
+    return;
+  }
+  if (c) c->l3_misses++;
+
+  // L3 miss: the line is fetched from below (write-allocate on stores).
+  const uint64_t now = ctx.now_ns();
+  if (via_dir) {
+    const DramCacheDirectory::AccessResult dr = dram_dir_.access(line, is_write);
+    if (dr.hit) {
+      if (c) {
+        c->dram_cache_hits++;
+        c->energy_pj += energy_.dram_read_pj;
+      }
+      const auto g = read_chan(Media::kDram).request(now, cm.read_svc_ns(Media::kDram));
+      cost += cm.dram_load_ns + static_cast<double>(g.wait_ns);
+    } else {
+      if (c) {
+        c->dram_cache_misses++;
+        c->energy_pj += energy_.optane_read_pj;
+      }
+      const auto g = read_chan(Media::kOptane).request(now, cm.read_svc_ns(Media::kOptane));
+      cost += cm.optane_load_ns + static_cast<double>(g.wait_ns);
+      if (dr.evicted_dirty_line != DramCacheDirectory::kNoLine) {
+        // Victim writeback to Optane happens off the critical path; the
+        // accessor only stalls if the write channel is saturated.
+        auto& wc = write_chan(Media::kOptane);
+        wc.request(now, cm.write_svc_ns(Media::kOptane));
+        const uint64_t threshold = static_cast<uint64_t>(
+            cm.write_svc_ns(Media::kOptane) * cfg_.cost.wpq_capacity);
+        const uint64_t backlog = wc.backlog_ns(now);
+        if (backlog > threshold) {
+          const uint64_t stall = backlog - threshold;
+          if (c) c->wpq_stall_ns += stall;
+          cost += static_cast<double>(stall);
+        }
+      }
+    }
+  } else {
+    const auto g = read_chan(med).request(now, cm.read_svc_ns(med));
+    cost += cm.load_latency_ns(med) + static_cast<double>(g.wait_ns);
+    if (c) c->energy_pj += energy_.read_pj(med);
+  }
+  if (is_write) cost += cm.store_ns;
+  ctx.advance(static_cast<uint64_t>(cost));
+}
+
+void Memory::background_writeback(sim::ExecContext& ctx, stats::TxCounters* c, uint64_t line) {
+  const CostModel& cm = cfg_.cost;
+  const uint64_t now = ctx.now_ns();
+
+  Media med;
+  if (cfg_.domain == Domain::kPdram && cfg_.media == Media::kOptane) {
+    // Under PDRAM the L3 writes back into the DRAM cache; Optane traffic
+    // happens later, on directory eviction.
+    const auto dr = dram_dir_.access(line, /*is_write=*/true);
+    med = Media::kDram;
+    if (!dr.hit && dr.evicted_dirty_line != DramCacheDirectory::kNoLine) {
+      write_chan(Media::kOptane).request(now, cm.write_svc_ns(Media::kOptane));
+    }
+  } else {
+    med = media_of(line, Space::kData);
+  }
+
+  auto& wc = write_chan(med);
+  wc.request(now, cm.write_svc_ns(med));
+  if (c) c->energy_pj += energy_.write_pj(med);
+  const uint64_t threshold =
+      static_cast<uint64_t>(cm.write_svc_ns(med) * cfg_.cost.wpq_capacity);
+  const uint64_t backlog = wc.backlog_ns(now);
+  if (backlog > threshold) {
+    const uint64_t stall = backlog - threshold;
+    if (c) c->wpq_stall_ns += stall;
+    ctx.advance(stall);
+  }
+}
+
+void Memory::store_bytes(sim::ExecContext& ctx, stats::TxCounters* c, void* dst,
+                         const void* src, size_t len, Space space) {
+  maybe_crash_event();
+  model_addr(ctx, c, dst, len, /*is_write=*/true, space);
+  std::memcpy(dst, src, len);
+  if (cfg_.crash_sim) track_store(dst, len);
+}
+
+void Memory::clwb(sim::ExecContext& ctx, stats::TxCounters* c, const void* addr) {
+  if (cfg_.domain != Domain::kAdr) return;  // eADR & friends elide flushes
+  maybe_crash_event();
+  if (c) {
+    c->clwbs++;
+    const Media m = media_of(line_of(addr), Space::kData);
+    c->energy_pj += energy_.clwb_issue_pj + energy_.write_pj(m);
+  }
+  const uint64_t line = line_of(addr);
+  const Media med = media_of(line, Space::kData);
+  const CostModel& cm = cfg_.cost;
+
+  if (cfg_.model_timing && ctx.is_simulated()) {
+    ctx.advance(static_cast<uint64_t>(cm.clwb_issue_ns));
+    l3_.clean(line);
+    // Stall while the WPQ is full.
+    const uint64_t avail = wpq_.stall_until_ns(ctx.now_ns());
+    if (avail > ctx.now_ns()) {
+      if (c) c->wpq_stall_ns += avail - ctx.now_ns();
+      ctx.advance_to(avail);
+    }
+    wpq_.enqueue(ctx.worker_id(), ctx.now_ns(), write_chan(med), cm.write_svc_ns(med),
+                 cm.clwb_latency_ns(med));
+  }
+
+  if (cfg_.crash_sim) {
+    std::lock_guard<std::mutex> lk(track_mu_);
+    PendingLine p;
+    p.line = line;
+    std::memcpy(p.bytes, base_ + line * kLineBytes, kLineBytes);
+    pending_[static_cast<size_t>(ctx.worker_id())].push_back(p);
+  }
+}
+
+void Memory::persist_lines(sim::ExecContext& ctx, stats::TxCounters* c, uint64_t first_line,
+                           size_t nlines) {
+  if (cfg_.domain != Domain::kAdr) return;
+  const CostModel& cm = cfg_.cost;
+  if (c) c->clwbs += nlines;
+  if (!cfg_.model_timing || !ctx.is_simulated()) return;
+  for (size_t i = 0; i < nlines; i++) {
+    const uint64_t line = first_line + i;
+    const Media med = media_of(line, Space::kData);
+    ctx.advance(static_cast<uint64_t>(cm.clwb_issue_ns));
+    l3_.clean(line);
+    const uint64_t avail = wpq_.stall_until_ns(ctx.now_ns());
+    if (avail > ctx.now_ns()) {
+      if (c) c->wpq_stall_ns += avail - ctx.now_ns();
+      ctx.advance_to(avail);
+    }
+    wpq_.enqueue(ctx.worker_id(), ctx.now_ns(), write_chan(med), cm.write_svc_ns(med),
+                 cm.clwb_latency_ns(med));
+  }
+}
+
+void Memory::sfence(sim::ExecContext& ctx, stats::TxCounters* c) {
+  if (cfg_.domain != Domain::kAdr) return;
+  maybe_crash_event();
+  if (c) {
+    c->sfences++;
+    c->energy_pj += energy_.sfence_pj;
+  }
+  if (cfg_.elide_fences) return;  // Table III: incorrect no-fence variant
+
+  if (cfg_.model_timing && ctx.is_simulated()) {
+    const uint64_t drain = wpq_.worker_drain_ns(ctx.worker_id());
+    if (drain > ctx.now_ns()) {
+      if (c) c->fence_wait_ns += drain - ctx.now_ns();
+      ctx.advance_to(drain);
+    }
+    ctx.advance(static_cast<uint64_t>(cfg_.cost.sfence_ns));
+  }
+
+  if (cfg_.crash_sim) {
+    std::lock_guard<std::mutex> lk(track_mu_);
+    auto& pend = pending_[static_cast<size_t>(ctx.worker_id())];
+    for (const PendingLine& p : pend) {
+      std::memcpy(image_.get() + p.line * kLineBytes, p.bytes, kLineBytes);
+    }
+    pend.clear();
+  }
+}
+
+void Memory::track_store(const void* addr, size_t len) {
+  std::lock_guard<std::mutex> lk(track_mu_);
+  const uint64_t first = line_of(addr);
+  const uint64_t last = line_of(static_cast<const char*>(addr) + (len ? len - 1 : 0));
+  for (uint64_t line = first; line <= last; line++) {
+    if (!test_and_set_dirty(line)) dirty_list_.push_back(line);
+  }
+}
+
+void Memory::resolve_crash_image(util::Rng& rng) {
+  if (cfg_.domain == Domain::kAdr) {
+    // clwb'd-but-unfenced lines *may* have drained before the failure.
+    for (auto& pend : pending_) {
+      for (const PendingLine& p : pend) {
+        if (rng.next_double() < cfg_.crash_pending_prob) {
+          std::memcpy(image_.get() + p.line * kLineBytes, p.bytes, kLineBytes);
+        }
+      }
+      pend.clear();
+    }
+    // Other dirty lines may have been spontaneously evicted (with whatever
+    // content they hold now — an approximation; see DESIGN.md).
+    for (uint64_t line : dirty_list_) {
+      if (rng.next_double() < cfg_.crash_evict_prob) {
+        std::memcpy(image_.get() + line * kLineBytes, base_ + line * kLineBytes, kLineBytes);
+      }
+    }
+  } else {
+    // eADR / PDRAM / PDRAM-Lite: the reserve power flushes caches (and, for
+    // the PDRAM variants, DRAM) — every executed store persists.
+    for (uint64_t line : dirty_list_) {
+      std::memcpy(image_.get() + line * kLineBytes, base_ + line * kLineBytes, kLineBytes);
+    }
+    for (auto& pend : pending_) pend.clear();
+  }
+}
+
+void Memory::arm_crash_after(uint64_t events, uint64_t rng_seed) {
+  assert(cfg_.crash_sim && "crash injection requires crash_sim=true");
+  crash_rng_.reseed(rng_seed);
+  crash_events_left_.store(static_cast<int64_t>(events), std::memory_order_relaxed);
+  frozen_.store(false, std::memory_order_release);
+  armed_.store(true, std::memory_order_release);
+}
+
+void Memory::crash_event_slow() {
+  if (frozen_.load(std::memory_order_acquire)) throw CrashPoint{};
+  if (crash_events_left_.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  {
+    // The power failure happens *now*: fix the persisted image before any
+    // further (post-crash) stores can leak into it.
+    std::lock_guard<std::mutex> lk(track_mu_);
+    resolve_crash_image(crash_rng_);
+  }
+  frozen_.store(true, std::memory_order_release);
+  throw CrashPoint{};
+}
+
+void Memory::simulate_power_failure(util::Rng& rng) {
+  assert(cfg_.crash_sim && "crash simulation requires crash_sim=true");
+  std::lock_guard<std::mutex> lk(track_mu_);
+  if (!frozen_.load(std::memory_order_acquire)) {
+    resolve_crash_image(rng);
+  }
+  // The machine reboots: live memory is whatever persisted.
+  std::memcpy(base_, image_.get(), size_);
+  clear_dirty_all();
+  armed_.store(false, std::memory_order_release);
+  frozen_.store(false, std::memory_order_release);
+}
+
+void Memory::checkpoint_all_persistent() {
+  if (!cfg_.crash_sim) return;
+  std::lock_guard<std::mutex> lk(track_mu_);
+  std::memcpy(image_.get(), base_, size_);
+  clear_dirty_all();
+  for (auto& pend : pending_) pend.clear();
+}
+
+void Memory::clear_dirty_all() {
+  std::fill(dirty_bitmap_.begin(), dirty_bitmap_.end(), 0);
+  dirty_list_.clear();
+}
+
+void Memory::prewarm_directory(uint64_t first_line, uint64_t nlines) {
+  if (cfg_.domain != Domain::kPdram || cfg_.media != Media::kOptane) return;
+  for (uint64_t i = 0; i < nlines; i++) {
+    dram_dir_.access(first_line + i, /*is_write=*/false);
+  }
+}
+
+void Memory::reset_models() {
+  l3_.reset();
+  dram_dir_.reset();
+  wpq_.reset();
+  dram_read_.reset();
+  dram_write_.reset();
+  optane_read_.reset();
+  optane_write_.reset();
+}
+
+}  // namespace nvm

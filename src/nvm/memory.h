@@ -1,0 +1,240 @@
+// The modelled memory system: every instrumented access to the persistent
+// heap flows through this class, which plays two roles:
+//
+//  1. **Timing** (discrete-event runs): charges the accessing worker the
+//     modelled latency — L3 hit/miss, DRAM vs Optane load, bandwidth-channel
+//     queueing, WPQ stalls, Memory-Mode DRAM-cache hits — per the paper's
+//     machine (§II, §III.A).
+//
+//  2. **Persistence semantics** (crash-simulation runs): tracks, at
+//     cache-line granularity, what would survive a power failure under the
+//     configured durability domain. ADR persists only lines whose clwb was
+//     ordered by an sfence (plus an adversarial random subset of other
+//     dirty lines, since real caches may write back spontaneously); eADR,
+//     PDRAM and PDRAM-Lite persist every executed store. A simulated power
+//     failure reverts the heap to exactly the persisted image, after which
+//     PTM recovery must produce a consistent heap.
+//
+// Data accesses use std::atomic_ref at word granularity so the speculative
+// loads/stores inherent to STM are free of C++ data races.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "nvm/cache_model.h"
+#include "nvm/channel.h"
+#include "nvm/domain.h"
+#include "nvm/dram_cache.h"
+#include "nvm/energy.h"
+#include "nvm/wpq.h"
+#include "sim/context.h"
+#include "stats/counters.h"
+#include "util/rng.h"
+
+#include <atomic>
+
+namespace nvm {
+
+/// Thrown at an armed crash point (see Memory::arm_crash_after). Unwinds
+/// the worker out of whatever transaction it was executing — the live heap
+/// at that instant is the machine state at power failure.
+struct CrashPoint {};
+
+class Memory {
+ public:
+  static constexpr uint64_t kLineBytes = 64;
+
+  Memory(const SystemConfig& cfg, char* base, size_t size);
+
+  // ----- word accesses (the PTM's unit of logging) ---------------------
+
+  uint64_t load_word(sim::ExecContext& ctx, stats::TxCounters* c, const uint64_t* addr,
+                     Space space) {
+    model_addr(ctx, c, addr, 8, /*is_write=*/false, space);
+    return std::atomic_ref<const uint64_t>(*addr).load(std::memory_order_acquire);
+  }
+
+  void store_word(sim::ExecContext& ctx, stats::TxCounters* c, uint64_t* addr, uint64_t val,
+                  Space space) {
+    maybe_crash_event();
+    model_addr(ctx, c, addr, 8, /*is_write=*/true, space);
+    std::atomic_ref<uint64_t>(*addr).store(val, std::memory_order_release);
+    if (cfg_.crash_sim) track_store(addr, 8);
+  }
+
+  /// Bulk store with tracking/modelling (used by population and recovery;
+  /// not transactional).
+  void store_bytes(sim::ExecContext& ctx, stats::TxCounters* c, void* dst, const void* src,
+                   size_t len, Space space);
+
+  /// Charge store timing + crash tracking for a word whose value was
+  /// already written through an atomic RMW (e.g. the allocator's CAS-max'd
+  /// high-water mark). Needed because store_word's modelling can yield to
+  /// another worker *before* its store executes, which would let a stale
+  /// value overwrite a newer one.
+  void account_store_in_place(sim::ExecContext& ctx, stats::TxCounters* c,
+                              const uint64_t* addr, Space space) {
+    maybe_crash_event();
+    model_addr(ctx, c, addr, 8, /*is_write=*/true, space);
+    if (cfg_.crash_sim) track_store(addr, 8);
+  }
+
+  // ----- cache-footprint-only accesses (no real bytes) -----------------
+
+  /// Model `nlines` consecutive line accesses starting at a synthetic line
+  /// id (used by the memcached workload's virtual value payloads, Fig 8).
+  void touch_lines(sim::ExecContext& ctx, stats::TxCounters* c, uint64_t first_line,
+                   size_t nlines, bool is_write, Space space);
+
+  /// Base line id of the synthetic (non-materialized) address region.
+  uint64_t virtual_line_base() const { return virt_base_line_; }
+
+  // ----- persistence instructions ---------------------------------------
+
+  /// clwb: under ADR, push the line toward the WPQ (timing) and capture its
+  /// bytes for crash simulation. No-op under eADR/PDRAM/PDRAM-Lite, exactly
+  /// as the paper's eADR algorithms elide flushes.
+  void clwb(sim::ExecContext& ctx, stats::TxCounters* c, const void* addr);
+
+  /// sfence: under ADR, wait for this worker's WPQ entries to drain and
+  /// promote its captured lines to the persistent image. Skipped when
+  /// `elide_fences` (Table III's incorrect variant).
+  void sfence(sim::ExecContext& ctx, stats::TxCounters* c);
+
+  /// clwb a run of synthetic lines (virtual payloads, no host bytes): under
+  /// ADR each line is pushed toward the WPQ; the caller's next sfence waits
+  /// for them. No-op in other domains. No crash tracking (nothing to
+  /// capture — virtual payload content is not materialized).
+  void persist_lines(sim::ExecContext& ctx, stats::TxCounters* c, uint64_t first_line,
+                     size_t nlines);
+
+  // ----- crash simulation ------------------------------------------------
+
+  /// Apply the durability domain's power-failure semantics: decide which
+  /// lines persist, then revert the live heap to the persisted image.
+  void simulate_power_failure(util::Rng& rng);
+
+  /// Mark the current live heap contents as fully persisted (used after
+  /// population so crash tests measure only the workload's transactions).
+  void checkpoint_all_persistent();
+
+  /// Crash injection (crash_sim only): after `events` further persistence
+  /// events (pmem stores, clwb, sfence), resolve the persisted image as of
+  /// that instant and throw CrashPoint. Every subsequent event also throws,
+  /// so all in-flight workers unwind without further heap effects becoming
+  /// persistent. Disarmed by simulate_power_failure().
+  void arm_crash_after(uint64_t events, uint64_t rng_seed);
+
+  /// True once an armed crash has fired.
+  bool crashed() const { return frozen_.load(std::memory_order_acquire); }
+
+  // ----- geometry ---------------------------------------------------------
+
+  /// Tell the model which line range holds the PTM per-thread logs (so
+  /// PDRAM-Lite can route them to DRAM).
+  void set_log_line_range(uint64_t lo, uint64_t hi) {
+    log_line_lo_ = lo;
+    log_line_hi_ = hi;
+  }
+
+  uint64_t line_of(const void* addr) const {
+    return (reinterpret_cast<uintptr_t>(addr) - reinterpret_cast<uintptr_t>(base_)) /
+           kLineBytes;
+  }
+
+  const SystemConfig& config() const { return cfg_; }
+
+  /// Reset volatile timing model state (channels, caches) between runs.
+  void reset_models();
+
+  /// Install `nlines` starting at `first_line` into the Memory-Mode DRAM
+  /// cache directory as clean residents (PDRAM only). Benchmarks call this
+  /// after population: the paper's minute-long steady-state runs operate
+  /// with a warm DRAM cache, which short simulated runs would otherwise
+  /// never reach.
+  void prewarm_directory(uint64_t first_line, uint64_t nlines);
+
+ private:
+  struct PendingLine {
+    uint64_t line;
+    unsigned char bytes[kLineBytes];
+  };
+
+  // Resolve timing + cache modelling for a real address range.
+  void model_addr(sim::ExecContext& ctx, stats::TxCounters* c, const void* addr, size_t len,
+                  bool is_write, Space space);
+
+  // One modelled line access (DES mode only).
+  void model_line(sim::ExecContext& ctx, stats::TxCounters* c, uint64_t line, bool is_write,
+                  Space space);
+
+  // Media that backs `line`/`space` under the current domain.
+  Media media_of(uint64_t line, Space space) const;
+
+  // Asynchronous dirty-line writeback (L3 eviction): books the write
+  // channel; charges a stall only when the backlog exceeds WPQ capacity.
+  void background_writeback(sim::ExecContext& ctx, stats::TxCounters* c, uint64_t line);
+
+  void track_store(const void* addr, size_t len);
+
+  void maybe_crash_event() {
+    if (!armed_.load(std::memory_order_acquire)) return;
+    crash_event_slow();
+  }
+  void crash_event_slow();
+
+  // Apply the durability domain's power-failure rule to the image (caller
+  // holds track_mu_).
+  void resolve_crash_image(util::Rng& rng);
+
+  BandwidthChannel& read_chan(Media m) {
+    return m == Media::kDram ? dram_read_ : optane_read_;
+  }
+  BandwidthChannel& write_chan(Media m) {
+    return m == Media::kDram ? dram_write_ : optane_write_;
+  }
+
+  bool is_log_line(uint64_t line) const { return line >= log_line_lo_ && line < log_line_hi_; }
+
+  const SystemConfig cfg_;
+  EnergyModel energy_;
+  char* base_;
+  size_t size_;
+  uint64_t num_lines_;
+  uint64_t virt_base_line_;
+
+  // Timing models (DES only; single worker runs at a time, so unguarded).
+  CacheModel l3_;
+  DramCacheDirectory dram_dir_;
+  Wpq wpq_;
+  BandwidthChannel dram_read_, dram_write_, optane_read_, optane_write_;
+
+  uint64_t log_line_lo_ = 0, log_line_hi_ = 0;
+
+  // Crash-simulation state (guarded: real-thread tests may race on it).
+  std::mutex track_mu_;
+  std::unique_ptr<unsigned char[]> image_;       // persisted bytes
+  std::vector<uint64_t> dirty_bitmap_;           // 1 bit per line
+  std::vector<uint64_t> dirty_list_;             // unique dirty line ids
+  std::vector<std::vector<PendingLine>> pending_;  // per worker: clwb'd, unfenced
+
+  std::atomic<bool> armed_{false};
+  std::atomic<bool> frozen_{false};
+  std::atomic<int64_t> crash_events_left_{0};
+  util::Rng crash_rng_;
+
+  bool test_and_set_dirty(uint64_t line) {
+    auto& w = dirty_bitmap_[line >> 6];
+    const uint64_t bit = 1ull << (line & 63);
+    const bool was = (w & bit) != 0;
+    w |= bit;
+    return was;
+  }
+  void clear_dirty_all();
+};
+
+}  // namespace nvm

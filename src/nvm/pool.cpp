@@ -1,0 +1,40 @@
+#include "nvm/pool.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+
+namespace nvm {
+
+Pool::Pool(const SystemConfig& cfg) : cfg_(cfg) {
+  const size_t meta_total =
+      static_cast<size_t>(cfg_.max_workers) * cfg_.per_worker_meta_bytes;
+  const size_t min_size = kHeaderBytes + kRootBytes + meta_total + (1u << 20);
+  if (cfg_.pool_size < min_size) {
+    throw std::invalid_argument("pool_size too small for layout");
+  }
+
+  void* p = nullptr;
+  if (posix_memalign(&p, 4096, cfg_.pool_size) != 0) throw std::bad_alloc();
+  base_ = static_cast<char*>(p);
+  std::memset(base_, 0, cfg_.pool_size);
+
+  PoolHeader* h = header();
+  h->magic = kMagic;
+  h->size = cfg_.pool_size;
+  h->meta_off = kHeaderBytes + kRootBytes;
+  h->meta_per_worker = cfg_.per_worker_meta_bytes;
+  h->heap_off = h->meta_off + meta_total;
+  h->initialized = 1;
+
+  mem_ = std::make_unique<Memory>(cfg_, base_, cfg_.pool_size);
+  mem_->set_log_line_range(h->meta_off / Memory::kLineBytes,
+                           h->heap_off / Memory::kLineBytes);
+  // The formatted (empty) pool is the initial persisted state.
+  mem_->checkpoint_all_persistent();
+}
+
+Pool::~Pool() { std::free(base_); }
+
+}  // namespace nvm

@@ -1,0 +1,3 @@
+#include "nvm/wpq.h"
+
+// Header-only; TU kept for build-list uniformity.

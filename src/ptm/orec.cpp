@@ -1,0 +1,3 @@
+#include "ptm/orec.h"
+
+// Header-only; TU kept for build-list uniformity.

@@ -1,0 +1,134 @@
+// orec-eager: the undo-logging PTM (the paper's best undo-based algorithm,
+// from [38]). Writes acquire the orec at encounter time, persist an undo
+// record of the old value, and then store the new value in place. Because
+// the undo record must be durable *before* the in-place store may persist,
+// every write carries a flush+fence under ADR — the O(W) fence cost the
+// paper identifies as the reason undo loses to redo on write-heavy
+// workloads (Figures 3/4), with TATP as the small-write-set exception.
+#include <cassert>
+
+#include "ptm/runtime.h"
+#include "ptm/tx.h"
+
+namespace ptm {
+
+uint64_t Tx::eager_read(const uint64_t* waddr) {
+  nvm::Pool& pool = rt_->pool();
+  std::atomic<uint64_t>& orec = rt_->orecs().for_addr(waddr);
+  const auto me = static_cast<uint32_t>(worker_);
+
+  const uint64_t v1 = orec.load(std::memory_order_acquire);
+  if (OrecTable::is_locked(v1)) {
+    if (OrecTable::owner_of(v1) == me) {
+      // We own it: the in-place value is ours.
+      return pool.mem().load_word(*ctx_, c_, waddr, nvm::Space::kData);
+    }
+    abort_tx();
+  }
+  const uint64_t val = pool.mem().load_word(*ctx_, c_, waddr, nvm::Space::kData);
+  const uint64_t v2 = orec.load(std::memory_order_acquire);
+  if (v1 != v2 || OrecTable::version_of(v1) > start_time_) abort_tx();
+  read_set_.emplace_back(&orec, v1);
+  return val;
+}
+
+void Tx::eager_write(uint64_t* waddr, uint64_t val) {
+  nvm::Pool& pool = rt_->pool();
+  nvm::Memory& mem = pool.mem();
+  const nvm::CostModel& cm = pool.config().cost;
+  OrecTable& orecs = rt_->orecs();
+  const auto me = static_cast<uint32_t>(worker_);
+
+  std::atomic<uint64_t>& orec = orecs.for_addr(waddr);
+  const uint64_t cur = orec.load(std::memory_order_acquire);
+  if (OrecTable::is_locked(cur)) {
+    if (OrecTable::owner_of(cur) != me) abort_tx();
+  } else {
+    if (OrecTable::version_of(cur) > start_time_) abort_tx();
+    uint64_t expected = cur;
+    ctx_->advance(static_cast<uint64_t>(cm.cas_ns));
+    if (!orec.compare_exchange_strong(expected, OrecTable::lock_word(me),
+                                      std::memory_order_acq_rel)) {
+      abort_tx();
+    }
+    owned_.push_back(OwnedOrec{&orec, cur});
+  }
+
+  // Log the old value; the record (and, on the first write, the ACTIVE
+  // status) must persist before the in-place store — hence one fence per
+  // write: the O(W) cost.
+  const uint64_t old = mem.load_word(*ctx_, c_, waddr, nvm::Space::kData);
+  const size_t entry_idx = n_log_;
+  append_log(pool.offset_of(waddr), old);
+  mem.store_word(*ctx_, c_, &slot_.header->log_count, n_log_, nvm::Space::kLog);
+  if (!active_persisted_) {
+    mem.store_word(*ctx_, c_, &slot_.header->algo, static_cast<uint64_t>(algo_),
+                   nvm::Space::kLog);
+    mem.store_word(*ctx_, c_, &slot_.header->status,
+                   TxSlotHeader::make(epoch_, TxSlotHeader::kActive), nvm::Space::kLog);
+    active_persisted_ = true;
+  }
+  persist_log_range(entry_idx, 1);
+  persist_slot_header();
+  mem.sfence(*ctx_, c_);
+
+  // Speculative in-place store (protected by the orec lock).
+  mem.store_word(*ctx_, c_, waddr, val, nvm::Space::kData);
+  dirty_.add(mem.line_of(waddr));
+}
+
+void Tx::eager_commit() {
+  nvm::Pool& pool = rt_->pool();
+  nvm::Memory& mem = pool.mem();
+  const nvm::CostModel& cm = pool.config().cost;
+  ctx_->advance(static_cast<uint64_t>(cm.tx_commit_ns));
+
+  if (owned_.empty() && tx_frees_.empty() && n_alloc_log_ == 0) {
+    return;  // read-only
+  }
+
+  const uint64_t wv = rt_->orecs().tick();
+  if (wv != start_time_ + 1 && !validate_read_set()) abort_tx();
+
+  // Persist the in-place writes, then the commit record.
+  for (const uint64_t line : dirty_.lines()) {
+    mem.clwb(*ctx_, c_, pool.base() + line * nvm::Memory::kLineBytes);
+  }
+  mem.sfence(*ctx_, c_);
+  set_status(TxSlotHeader::kCommitted, /*fence=*/true);
+  // ---- durable commit point ----
+
+  apply_frees();
+
+  // Retire the undo log durably before unlocking (recovery must never roll
+  // back a committed transaction).
+  retire_logs();
+  release_owned(OrecTable::version_word(wv));
+}
+
+void Tx::eager_rollback() {
+  nvm::Pool& pool = rt_->pool();
+  nvm::Memory& mem = pool.mem();
+
+  // Restore old values in reverse order (later entries may shadow earlier
+  // writes to the same word).
+  for (size_t i = n_log_; i-- > 0;) {
+    auto* home = static_cast<uint64_t*>(pool.at(LogEntry::offset_of(slot_.log[i].off)));
+    mem.store_word(*ctx_, c_, home, slot_.log[i].val, nvm::Space::kData);
+  }
+  for (const uint64_t line : dirty_.lines()) {
+    mem.clwb(*ctx_, c_, pool.base() + line * nvm::Memory::kLineBytes);
+  }
+  mem.sfence(*ctx_, c_);
+
+  // The log is dead; make that durable before the locks go.
+  retire_logs();
+
+  // Release to the pre-lock versions: the data is unchanged.
+  for (const OwnedOrec& o : owned_) {
+    o.orec->store(o.old_word, std::memory_order_release);
+  }
+  owned_.clear();
+}
+
+}  // namespace ptm

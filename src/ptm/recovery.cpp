@@ -1,0 +1,88 @@
+// Startup / post-crash recovery.
+//
+// Invariant provided to applications: after recover(),
+//  * every transaction whose commit record persisted is fully applied
+//    (redo logs are replayed; undo-mode commits were already in place);
+//  * every transaction without a persisted commit record has no effect
+//    (undo logs are rolled back; redo logs and speculative allocations are
+//    discarded).
+// This is the "linearizable durability" contract ([10]) the paper's PTMs
+// provide. Replay is idempotent, so a crash during recovery is safe.
+#include "ptm/runtime.h"
+
+namespace ptm {
+
+void Runtime::recover(sim::ExecContext& ctx) {
+  // All speculation state is volatile and died with the crash.
+  orecs_.reset();
+
+  nvm::Memory& mem = pool_.mem();
+  stats::TxCounters* c = nullptr;  // recovery is not part of measured runs
+
+  for (int w = 0; w < pool_.config().max_workers; w++) {
+    SlotLayout slot = SlotLayout::carve(pool_.worker_meta(w), pool_.worker_meta_bytes());
+    const uint64_t status = slot.header->status;
+    const uint64_t state = TxSlotHeader::state_of(status);
+    const uint64_t epoch = TxSlotHeader::epoch_of(status);
+    const uint64_t n_log = slot.header->log_count;
+    const uint64_t n_alloc = slot.header->alloc_count;
+    const auto algo = static_cast<Algo>(slot.header->algo);
+
+    if (state == TxSlotHeader::kCommitted) {
+      if (algo == Algo::kOrecLazy) {
+        // Replay the redo log forward; write-back may have been partial.
+        for (uint64_t i = 0; i < n_log; i++) {
+          // Skip records whose epoch tag is stale (partially persisted log).
+          if (!LogEntry::tag_matches(slot.log[i].off, epoch)) continue;
+          auto* home = static_cast<uint64_t*>(pool_.at(LogEntry::offset_of(slot.log[i].off)));
+          mem.store_word(ctx, c, home, slot.log[i].val, nvm::Space::kData);
+          mem.clwb(ctx, c, home);
+        }
+        mem.sfence(ctx, c);
+      }
+      // Committed transactions' deferred frees must take effect.
+      for (uint64_t i = 0; i < n_alloc; i++) {
+        const uint64_t word = slot.alloc_log[i];
+        if (!AllocLogOp::tag_matches(word, epoch)) continue;
+        if (AllocLogOp::op_of(word) == AllocLogOp::kFree) {
+          alloc_.free_block_if_absent(ctx, c, pool_.at(AllocLogOp::off_of(word)));
+        }
+      }
+    } else {
+      // IDLE or ACTIVE: the transaction did not commit.
+      if (state == TxSlotHeader::kActive && algo == Algo::kOrecEager) {
+        // Roll back in-place writes, newest first.
+        for (uint64_t i = n_log; i-- > 0;) {
+          if (!LogEntry::tag_matches(slot.log[i].off, epoch)) continue;
+          auto* home = static_cast<uint64_t*>(pool_.at(LogEntry::offset_of(slot.log[i].off)));
+          mem.store_word(ctx, c, home, slot.log[i].val, nvm::Space::kData);
+          mem.clwb(ctx, c, home);
+        }
+        mem.sfence(ctx, c);
+      }
+      // Cancel speculative allocations (idempotent membership check).
+      for (uint64_t i = 0; i < n_alloc; i++) {
+        const uint64_t word = slot.alloc_log[i];
+        if (!AllocLogOp::tag_matches(word, epoch)) continue;
+        if (AllocLogOp::op_of(word) == AllocLogOp::kAlloc) {
+          alloc_.free_block_if_absent(ctx, c, pool_.at(AllocLogOp::off_of(word)));
+        }
+      }
+    }
+
+    // Quiesce the slot for the next epoch.
+    mem.store_word(ctx, c, &slot.header->log_count, 0, nvm::Space::kLog);
+    mem.store_word(ctx, c, &slot.header->alloc_count, 0, nvm::Space::kLog);
+    mem.store_word(ctx, c, &slot.header->status,
+                   TxSlotHeader::make(epoch + 1, TxSlotHeader::kIdle), nvm::Space::kLog);
+    mem.clwb(ctx, c, slot.header);
+    mem.sfence(ctx, c);
+
+    // Refresh the live descriptor's epoch cache.
+    txs_[static_cast<size_t>(w)]->epoch_ = epoch + 1;
+    txs_[static_cast<size_t>(w)]->n_log_ = 0;
+    txs_[static_cast<size_t>(w)]->n_alloc_log_ = 0;
+  }
+}
+
+}  // namespace ptm

@@ -1,0 +1,20 @@
+#include "ptm/redo_log.h"
+
+#include <cassert>
+
+namespace ptm {
+
+SlotLayout SlotLayout::carve(char* slot_base, size_t slot_bytes) {
+  constexpr size_t kAllocLogCap = 256;
+  SlotLayout l;
+  l.header = reinterpret_cast<TxSlotHeader*>(slot_base);
+  l.alloc_log = reinterpret_cast<uint64_t*>(slot_base + sizeof(TxSlotHeader));
+  l.alloc_log_cap = kAllocLogCap;
+  char* log_start = slot_base + sizeof(TxSlotHeader) + kAllocLogCap * 8;
+  l.log = reinterpret_cast<LogEntry*>(log_start);
+  assert(slot_bytes > sizeof(TxSlotHeader) + kAllocLogCap * 8);
+  l.log_capacity = (slot_bytes - sizeof(TxSlotHeader) - kAllocLogCap * 8) / sizeof(LogEntry);
+  return l;
+}
+
+}  // namespace ptm

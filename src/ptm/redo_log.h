@@ -1,0 +1,155 @@
+// Persistent per-thread log layout + the DRAM-side write-set index.
+//
+// Each worker owns a fixed metadata slot inside the pool (nvm::Pool layout)
+// holding its transaction status word and its log arrays. Log *records*
+// live in persistent memory (they must survive a crash); the hash index
+// that makes read-own-writes O(1) lives in DRAM — this is the paper's
+// "split the logging hash table, index in DRAM, data in Optane"
+// optimization (§III.A).
+//
+// The same record format serves redo logs (val = new value) and undo logs
+// (val = old value); `TxSlotHeader::algo` records which algorithm wrote the
+// log so recovery replays it correctly.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace ptm {
+
+/// One logged word write. `off` packs a pool offset (pointers do not
+/// survive recovery in general; offsets do) with the writing transaction's
+/// epoch in the upper bits. The tag is what makes recovery safe against
+/// *partial* log persistence: under ADR the slot header (status/count) can
+/// reach the ADR domain by spontaneous cache eviction before the entry
+/// line's fence, so recovery may observe a count that covers log slots
+/// still holding a previous transaction's records — the epoch tag exposes
+/// them as stale and recovery skips them. (Entries are 16-byte aligned and
+/// never straddle cache lines, so a persisted entry is internally
+/// consistent.)
+struct LogEntry {
+  static constexpr int kOffBits = 40;  // pools up to 1 TB
+  static constexpr uint64_t kOffMask = (1ull << kOffBits) - 1;
+
+  uint64_t off;  // (epoch tag << kOffBits) | pool offset
+  uint64_t val;
+
+  static uint64_t pack(uint64_t epoch, uint64_t offset) {
+    return (epoch << kOffBits) | (offset & kOffMask);
+  }
+  static uint64_t offset_of(uint64_t packed) { return packed & kOffMask; }
+  static bool tag_matches(uint64_t packed, uint64_t epoch) {
+    return (packed >> kOffBits) == (epoch & ((1ull << (64 - kOffBits)) - 1));
+  }
+};
+
+/// Persistent per-worker slot header (first cache line of the slot).
+struct TxSlotHeader {
+  static constexpr uint64_t kIdle = 0;
+  static constexpr uint64_t kActive = 1;
+  static constexpr uint64_t kCommitted = 2;
+
+  uint64_t status;       // (epoch << 8) | state
+  uint64_t log_count;    // valid LogEntry records
+  uint64_t alloc_count;  // valid alloc-log words
+  uint64_t algo;         // ptm::Algo that wrote the log
+  uint64_t pad[4];
+
+  static uint64_t make(uint64_t epoch, uint64_t state) { return (epoch << 8) | state; }
+  static uint64_t state_of(uint64_t s) { return s & 0xff; }
+  static uint64_t epoch_of(uint64_t s) { return s >> 8; }
+};
+static_assert(sizeof(TxSlotHeader) == 64);
+
+/// Alloc-log word: pool offset of the block payload with the operation in
+/// the low 3 bits (payloads are 8-byte aligned) and the transaction epoch
+/// in the top bits — same stale-record defence as LogEntry.
+struct AllocLogOp {
+  static constexpr uint64_t kAlloc = 1;
+  static constexpr uint64_t kFree = 2;
+  static uint64_t make(uint64_t off, uint64_t op, uint64_t epoch) {
+    return (epoch << LogEntry::kOffBits) | (off & LogEntry::kOffMask & ~7ull) | op;
+  }
+  static uint64_t off_of(uint64_t w) { return w & LogEntry::kOffMask & ~7ull; }
+  static uint64_t op_of(uint64_t w) { return w & 7ull; }
+  static bool tag_matches(uint64_t w, uint64_t epoch) {
+    return LogEntry::tag_matches(w, epoch);
+  }
+};
+
+/// Carves a worker's metadata slot into header / alloc log / write log.
+struct SlotLayout {
+  TxSlotHeader* header;
+  uint64_t* alloc_log;  // kAllocLogCap words
+  LogEntry* log;        // log_capacity records
+  size_t alloc_log_cap;
+  size_t log_capacity;
+
+  static SlotLayout carve(char* slot_base, size_t slot_bytes);
+};
+
+/// DRAM-resident open-addressing map: word pool-offset -> log index.
+/// Generation-stamped so clearing between transactions is O(1). Write sets
+/// are capped at half the table (beyond that, probing costs explode and a
+/// full table would loop) — far beyond any workload in the paper; huge
+/// initialization transactions should batch instead.
+class WriteIndex {
+ public:
+  static constexpr size_t kSlots = 1u << 14;
+  static constexpr size_t kMaxWrites = kSlots / 2;
+
+  WriteIndex() : slots_(kSlots) {}
+
+  void clear() {
+    gen_++;
+    count_ = 0;
+  }
+
+  /// Returns log index or -1.
+  int64_t lookup(uint64_t off) const {
+    size_t i = hash(off);
+    for (;;) {
+      const Slot& s = slots_[i];
+      if (s.gen != gen_) return -1;
+      if (s.off == off) return s.idx;
+      i = (i + 1) & (kSlots - 1);
+    }
+  }
+
+  void insert(uint64_t off, int64_t idx) {
+    if (count_ >= kMaxWrites) {
+      throw std::runtime_error("transaction write set exceeds WriteIndex capacity");
+    }
+    size_t i = hash(off);
+    for (;;) {
+      Slot& s = slots_[i];
+      if (s.gen != gen_ || s.off == off) {
+        if (s.gen != gen_) count_++;
+        s.gen = gen_;
+        s.off = off;
+        s.idx = idx;
+        return;
+      }
+      i = (i + 1) & (kSlots - 1);
+    }
+  }
+
+ private:
+  struct Slot {
+    uint64_t gen = 0;
+    uint64_t off = 0;
+    int64_t idx = 0;
+  };
+
+  static size_t hash(uint64_t off) {
+    return static_cast<size_t>((off >> 3) * 0x9e3779b97f4a7c15ull >> 51) & (kSlots - 1);
+  }
+
+  std::vector<Slot> slots_;
+  uint64_t gen_ = 1;
+  size_t count_ = 0;
+};
+
+}  // namespace ptm

@@ -1,0 +1,26 @@
+#include "ptm/runtime.h"
+
+namespace ptm {
+
+Runtime::Runtime(nvm::Pool& pool, Algo algo)
+    : pool_(pool), algo_(algo), alloc_(pool),
+      counters_(static_cast<size_t>(pool.config().max_workers)) {
+  txs_.reserve(counters_.size());
+  for (int w = 0; w < pool.config().max_workers; w++) {
+    txs_.emplace_back(new Tx(*this, w));
+  }
+  // Safe memory reclamation: before the allocator threads a freed block
+  // onto a free list (overwriting its first payload word), advance that
+  // word's orec past every active snapshot, so concurrent transactions
+  // still holding a pointer to the block abort instead of reading the link.
+  alloc_.set_reclaim_hook([this](void* payload) {
+    orecs_.for_addr(payload).store(OrecTable::version_word(orecs_.tick()),
+                                   std::memory_order_release);
+  });
+}
+
+void Runtime::reset_counters() {
+  for (auto& c : counters_) c.reset();
+}
+
+}  // namespace ptm

@@ -1,0 +1,79 @@
+// PTM runtime: owns the orec table, the persistent allocator, per-worker
+// transaction descriptors and counters, and the retry loop.
+//
+// Typical use:
+//
+//   nvm::SystemConfig cfg;            // pick media/domain/cost model
+//   nvm::Pool pool(cfg);
+//   ptm::Runtime rt(pool, ptm::Algo::kOrecLazy);
+//   rt.recover(ctx);                  // no-op on a fresh pool
+//   rt.run(ctx, [&](ptm::Tx& tx) {
+//     auto* root = pool.root<MyRoot>();
+//     uint64_t v = tx.read(&root->counter);
+//     tx.write(&root->counter, v + 1);
+//   });
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ptm/tx.h"
+
+namespace ptm {
+
+class Runtime {
+ public:
+  Runtime(nvm::Pool& pool, Algo algo);
+
+  /// Execute `body(Tx&)` as one atomic, durable transaction, retrying on
+  /// conflict until it commits. `body` must be idempotent across retries
+  /// (standard STM contract) and must perform all persistent accesses
+  /// through the Tx.
+  template <typename F>
+  void run(sim::ExecContext& ctx, F&& body) {
+    Tx& tx = *txs_[static_cast<size_t>(ctx.worker_id())];
+    tx.attach(&ctx, &counters_[static_cast<size_t>(ctx.worker_id())]);
+    for (;;) {
+      tx.begin();
+      try {
+        body(tx);
+        tx.commit();
+        return;
+      } catch (const AbortTx&) {
+        tx.handle_abort();
+      } catch (...) {
+        // Application exception: roll back, then let it escape.
+        tx.handle_abort();
+        throw;
+      }
+    }
+  }
+
+  /// Replay / roll back per-thread logs after a (simulated) power failure;
+  /// also quiesces volatile speculation state. Safe on a fresh pool.
+  void recover(sim::ExecContext& ctx);
+
+  nvm::Pool& pool() { return pool_; }
+  OrecTable& orecs() { return orecs_; }
+  alloc::PersistentAllocator& allocator() { return alloc_; }
+  Algo algo() const { return algo_; }
+
+  stats::TxCounters& counters(int worker) {
+    return counters_[static_cast<size_t>(worker)];
+  }
+  std::vector<stats::TxCounters> snapshot_counters() const { return counters_; }
+  void reset_counters();
+
+ private:
+  friend class Tx;
+  friend class Recovery;
+
+  nvm::Pool& pool_;
+  Algo algo_;
+  OrecTable orecs_;
+  alloc::PersistentAllocator alloc_;
+  std::vector<stats::TxCounters> counters_;
+  std::vector<std::unique_ptr<Tx>> txs_;
+};
+
+}  // namespace ptm

@@ -1,0 +1,248 @@
+#include "ptm/tx.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "ptm/runtime.h"
+
+namespace ptm {
+
+const char* algo_name(Algo a) {
+  return a == Algo::kOrecLazy ? "orec-lazy(redo)" : "orec-eager(undo)";
+}
+const char* algo_suffix(Algo a) { return a == Algo::kOrecLazy ? "R" : "U"; }
+
+Tx::Tx(Runtime& rt, int worker)
+    : rt_(&rt), worker_(worker), algo_(rt.algo()),
+      rng_(0x74785eedull + static_cast<uint64_t>(worker) * 0x1234567ull) {
+  nvm::Pool& pool = rt.pool();
+  slot_ = SlotLayout::carve(pool.worker_meta(worker), pool.worker_meta_bytes());
+  epoch_ = TxSlotHeader::epoch_of(slot_.header->status);
+}
+
+void Tx::begin() {
+  start_time_ = rt_->orecs().sample_clock();
+  n_log_ = 0;
+  n_alloc_log_ = 0;
+  active_persisted_ = false;
+  read_set_.clear();
+  owned_.clear();
+  dirty_.clear();
+  windex_.clear();
+  tx_allocs_.clear();
+  tx_frees_.clear();
+  ctx_->advance(static_cast<uint64_t>(rt_->pool().config().cost.tx_begin_ns));
+}
+
+uint64_t Tx::read_word(const uint64_t* waddr) {
+  c_->reads++;
+  return algo_ == Algo::kOrecLazy ? lazy_read(waddr) : eager_read(waddr);
+}
+
+void Tx::write_word(uint64_t* waddr, uint64_t val) {
+  assert(rt_->pool().contains(waddr) && "transactional write outside the pool");
+  c_->writes++;
+  if (algo_ == Algo::kOrecLazy) {
+    lazy_write(waddr, val);
+  } else {
+    eager_write(waddr, val);
+  }
+}
+
+void Tx::read_bytes(const void* src, void* dst, size_t len) {
+  const uintptr_t s = reinterpret_cast<uintptr_t>(src);
+  auto* out = static_cast<char*>(dst);
+  uintptr_t w = s & ~uintptr_t{7};
+  size_t produced = 0;
+  while (produced < len) {
+    const uint64_t word = read_word(reinterpret_cast<const uint64_t*>(w));
+    const size_t lo = (produced == 0) ? (s - w) : 0;
+    const size_t take = std::min(size_t{8} - lo, len - produced);
+    std::memcpy(out + produced, reinterpret_cast<const char*>(&word) + lo, take);
+    produced += take;
+    w += 8;
+  }
+}
+
+void Tx::write_bytes(void* dst, const void* src, size_t len) {
+  const uintptr_t d = reinterpret_cast<uintptr_t>(dst);
+  const auto* in = static_cast<const char*>(src);
+  uintptr_t w = d & ~uintptr_t{7};
+  size_t consumed = 0;
+  while (consumed < len) {
+    const size_t lo = (consumed == 0) ? (d - w) : 0;
+    const size_t take = std::min(size_t{8} - lo, len - consumed);
+    uint64_t word;
+    if (lo == 0 && take == 8) {
+      std::memcpy(&word, in + consumed, 8);
+    } else {
+      // Partial word: merge with the current transactional value.
+      word = read_word(reinterpret_cast<const uint64_t*>(w));
+      std::memcpy(reinterpret_cast<char*>(&word) + lo, in + consumed, take);
+    }
+    write_word(reinterpret_cast<uint64_t*>(w), word);
+    consumed += take;
+    w += 8;
+  }
+}
+
+void Tx::commit() {
+  if (algo_ == Algo::kOrecLazy) {
+    lazy_commit();
+  } else {
+    eager_commit();
+  }
+  update_log_hwm();
+  c_->commits++;
+  attempt_ = 0;
+}
+
+void Tx::handle_abort() {
+  if (algo_ == Algo::kOrecEager) {
+    eager_rollback();
+  } else {
+    lazy_abort_cleanup();
+  }
+  cancel_allocs();
+  // Exponential backoff so conflicting transactions separate in (simulated)
+  // time; required for livelock-freedom under the DES single-runner rule.
+  attempt_++;
+  const uint64_t shift = attempt_ < 10 ? attempt_ : 10;
+  const auto base = static_cast<uint64_t>(rt_->pool().config().cost.backoff_base_ns);
+  ctx_->advance(rng_.next_bounded((base << shift) + 1));
+}
+
+void Tx::abort_tx() {
+  c_->aborts++;
+  throw AbortTx{};
+}
+
+void Tx::abort_and_retry() { abort_tx(); }
+
+void* Tx::alloc(size_t n) {
+  void* p = rt_->allocator().alloc(*ctx_, c_, n);
+  if (n_alloc_log_ >= slot_.alloc_log_cap) throw std::runtime_error("alloc log overflow");
+  nvm::Memory& mem = rt_->pool().mem();
+  const uint64_t off = rt_->pool().offset_of(p);
+  uint64_t* entry = &slot_.alloc_log[n_alloc_log_];
+  mem.store_word(*ctx_, c_, entry, AllocLogOp::make(off, AllocLogOp::kAlloc, epoch_),
+                 nvm::Space::kLog);
+  n_alloc_log_++;
+  mem.store_word(*ctx_, c_, &slot_.header->alloc_count, n_alloc_log_, nvm::Space::kLog);
+  mem.clwb(*ctx_, c_, entry);
+  mem.clwb(*ctx_, c_, slot_.header);
+  mem.sfence(*ctx_, c_);
+  tx_allocs_.push_back(p);
+  return p;
+}
+
+void Tx::dealloc(void* p) {
+  if (n_alloc_log_ >= slot_.alloc_log_cap) throw std::runtime_error("alloc log overflow");
+  nvm::Memory& mem = rt_->pool().mem();
+  const uint64_t off = rt_->pool().offset_of(p);
+  uint64_t* entry = &slot_.alloc_log[n_alloc_log_];
+  mem.store_word(*ctx_, c_, entry, AllocLogOp::make(off, AllocLogOp::kFree, epoch_),
+                 nvm::Space::kLog);
+  n_alloc_log_++;
+  mem.store_word(*ctx_, c_, &slot_.header->alloc_count, n_alloc_log_, nvm::Space::kLog);
+  mem.clwb(*ctx_, c_, entry);
+  mem.clwb(*ctx_, c_, slot_.header);
+  mem.sfence(*ctx_, c_);
+  tx_frees_.push_back(p);
+}
+
+void Tx::append_log(uint64_t off, uint64_t val) {
+  if (n_log_ >= slot_.log_capacity) throw std::runtime_error("write log overflow");
+  nvm::Memory& mem = rt_->pool().mem();
+  LogEntry* e = &slot_.log[n_log_];
+  mem.store_word(*ctx_, c_, &e->off, LogEntry::pack(epoch_, off), nvm::Space::kLog);
+  mem.store_word(*ctx_, c_, &e->val, val, nvm::Space::kLog);
+  n_log_++;
+  c_->log_bytes += sizeof(LogEntry);
+}
+
+void Tx::persist_slot_header() {
+  nvm::Memory& mem = rt_->pool().mem();
+  mem.clwb(*ctx_, c_, slot_.header);
+}
+
+void Tx::persist_log_range(size_t first_entry, size_t n_entries) {
+  if (n_entries == 0) return;
+  nvm::Memory& mem = rt_->pool().mem();
+  const char* lo = reinterpret_cast<const char*>(&slot_.log[first_entry]);
+  const char* hi = reinterpret_cast<const char*>(&slot_.log[first_entry + n_entries]) - 1;
+  for (const char* p = reinterpret_cast<const char*>(
+           reinterpret_cast<uintptr_t>(lo) & ~uintptr_t{63});
+       p <= hi; p += nvm::Memory::kLineBytes) {
+    mem.clwb(*ctx_, c_, p);
+  }
+}
+
+void Tx::release_owned(uint64_t version_word) {
+  for (const OwnedOrec& o : owned_) {
+    o.orec->store(version_word, std::memory_order_release);
+  }
+  owned_.clear();
+}
+
+void Tx::cancel_allocs() {
+  for (void* p : tx_allocs_) {
+    rt_->allocator().free_block(*ctx_, c_, p);
+  }
+  tx_allocs_.clear();
+  tx_frees_.clear();
+  if (n_alloc_log_ > 0) {
+    nvm::Memory& mem = rt_->pool().mem();
+    mem.store_word(*ctx_, c_, &slot_.header->alloc_count, 0, nvm::Space::kLog);
+    mem.clwb(*ctx_, c_, slot_.header);
+    mem.sfence(*ctx_, c_);
+    n_alloc_log_ = 0;
+  }
+}
+
+void Tx::apply_frees() {
+  for (void* p : tx_frees_) {
+    rt_->allocator().free_block(*ctx_, c_, p);
+  }
+  tx_frees_.clear();
+  tx_allocs_.clear();
+}
+
+void Tx::set_status(uint64_t state, bool fence) {
+  nvm::Memory& mem = rt_->pool().mem();
+  mem.store_word(*ctx_, c_, &slot_.header->status, TxSlotHeader::make(epoch_, state),
+                 nvm::Space::kLog);
+  mem.clwb(*ctx_, c_, slot_.header);
+  if (fence) mem.sfence(*ctx_, c_);
+}
+
+void Tx::retire_logs() {
+  // All header fields share one cache line, so the counts and the IDLE
+  // status persist together under set_status's flush+fence.
+  nvm::Memory& mem = rt_->pool().mem();
+  mem.store_word(*ctx_, c_, &slot_.header->log_count, 0, nvm::Space::kLog);
+  mem.store_word(*ctx_, c_, &slot_.header->alloc_count, 0, nvm::Space::kLog);
+  n_alloc_log_ = 0;
+  epoch_++;
+  set_status(TxSlotHeader::kIdle, /*fence=*/true);
+}
+
+bool Tx::validate_read_set() const {
+  const auto me = static_cast<uint32_t>(worker_);
+  for (const auto& [orec, v1] : read_set_) {
+    const uint64_t cur = orec->load(std::memory_order_acquire);
+    if (cur == v1) continue;
+    if (OrecTable::is_locked(cur) && OrecTable::owner_of(cur) == me) continue;
+    return false;
+  }
+  return true;
+}
+
+void Tx::update_log_hwm() {
+  const uint64_t lines = (n_log_ * sizeof(LogEntry) + nvm::Memory::kLineBytes - 1) /
+                         nvm::Memory::kLineBytes;
+  if (lines > c_->log_lines_hwm) c_->log_lines_hwm = lines;
+}
+
+}  // namespace ptm

@@ -1,0 +1,185 @@
+// Transaction handle — the public face of the PTM.
+//
+// Application code runs transactions via ptm::Runtime::run(ctx, body); the
+// body receives a Tx& and performs every persistent access through
+// tx.read<T>() / tx.write<T>() / tx.alloc() / tx.dealloc(). This mirrors
+// what the paper's LLVM plugin [39] emits for instrumented loads/stores —
+// here the instrumentation is by hand, the runtime algorithms are the same:
+//
+//  * Algo::kOrecLazy  ("orec-lazy", redo logging): writes buffer in a
+//    per-thread redo log (DRAM index, persistent records) and reach their
+//    home locations only at commit; O(1) fences per transaction.
+//  * Algo::kOrecEager ("orec-eager", undo logging): writes acquire the
+//    orec, persist an undo record, then store in place; O(W) fences.
+//
+// Transactions are word-granular: persistent objects must be 8-byte aligned
+// (the persistent allocator guarantees this), and read/write of any
+// trivially-copyable T is decomposed into aligned 8-byte word accesses.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "alloc/persistent_alloc.h"
+#include "nvm/pool.h"
+#include "ptm/orec.h"
+#include "ptm/redo_log.h"
+#include "ptm/undo_log.h"
+#include "sim/context.h"
+#include "stats/counters.h"
+#include "util/rng.h"
+
+namespace ptm {
+
+enum class Algo : uint64_t {
+  kOrecLazy = 1,   // redo logging ("R" curves in the paper)
+  kOrecEager = 2,  // undo logging ("U" curves)
+};
+
+const char* algo_name(Algo a);
+const char* algo_suffix(Algo a);  // "R" / "U"
+
+/// Internal control-flow exception: thrown on conflict, caught by
+/// Runtime::run's retry loop. Never escapes to application code.
+struct AbortTx {};
+
+class Runtime;
+
+class Tx {
+ public:
+  // ----- word-granular primitives ------------------------------------
+
+  uint64_t read_word(const uint64_t* waddr);
+  void write_word(uint64_t* waddr, uint64_t val);
+
+  // ----- typed accessors ----------------------------------------------
+
+  template <typename T>
+  T read(const T* addr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if constexpr (sizeof(T) == 8 && alignof(T) == 8) {
+      uint64_t w = read_word(reinterpret_cast<const uint64_t*>(addr));
+      T out;
+      std::memcpy(&out, &w, 8);
+      return out;
+    } else {
+      T out;
+      read_bytes(addr, &out, sizeof(T));
+      return out;
+    }
+  }
+
+  template <typename T>
+  void write(T* addr, const T& val) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if constexpr (sizeof(T) == 8 && alignof(T) == 8) {
+      uint64_t w;
+      std::memcpy(&w, &val, 8);
+      write_word(reinterpret_cast<uint64_t*>(addr), w);
+    } else {
+      write_bytes(addr, &val, sizeof(T));
+    }
+  }
+
+  /// Transactional memcpy out of the persistent heap.
+  void read_bytes(const void* src, void* dst, size_t len);
+
+  /// Transactional memcpy into the persistent heap (read-modify-write for
+  /// partial words at the edges).
+  void write_bytes(void* dst, const void* src, size_t len);
+
+  // ----- allocation -----------------------------------------------------
+
+  /// Allocate persistent memory owned by this transaction: released again
+  /// if the transaction aborts, durable once it commits.
+  void* alloc(size_t n);
+
+  template <typename T>
+  T* alloc_obj() {
+    return static_cast<T*>(alloc(sizeof(T)));
+  }
+
+  /// Free a persistent block; deferred until commit (an aborted
+  /// transaction frees nothing).
+  void dealloc(void* p);
+
+  // ----- misc -------------------------------------------------------------
+
+  /// Model `ns` of non-memory compute inside the transaction.
+  void work(uint64_t ns) { ctx_->advance(ns); }
+
+  sim::ExecContext& ctx() { return *ctx_; }
+  Runtime& runtime() { return *rt_; }
+
+  /// Explicit user-requested abort+retry (e.g. failed precondition that a
+  /// concurrent transaction may fix).
+  [[noreturn]] void abort_and_retry();
+
+ private:
+  friend class Runtime;
+  friend class Recovery;
+
+  Tx(Runtime& rt, int worker);
+
+  void attach(sim::ExecContext* ctx, stats::TxCounters* c) {
+    ctx_ = ctx;
+    c_ = c;
+  }
+
+  void begin();
+  void commit();
+  void handle_abort();  // rollback + backoff after AbortTx
+  [[noreturn]] void abort_tx();
+
+  // orec-lazy implementation (orec_lazy.cpp)
+  uint64_t lazy_read(const uint64_t* waddr);
+  void lazy_write(uint64_t* waddr, uint64_t val);
+  void lazy_commit();
+  void lazy_abort_cleanup();
+
+  // orec-eager implementation (orec_eager.cpp)
+  uint64_t eager_read(const uint64_t* waddr);
+  void eager_write(uint64_t* waddr, uint64_t val);
+  void eager_commit();
+  void eager_rollback();
+
+  // shared helpers (tx.cpp)
+  void append_log(uint64_t off, uint64_t val);
+  void persist_slot_header();
+  void persist_log_range(size_t first_entry, size_t n_entries);
+  void release_owned(uint64_t version_word);
+  void cancel_allocs();
+  void apply_frees();
+  void set_status(uint64_t state, bool fence);
+  void retire_logs();  // durably clear counts + set IDLE for the next epoch
+  bool validate_read_set() const;
+  void update_log_hwm();
+
+  Runtime* rt_;
+  sim::ExecContext* ctx_ = nullptr;
+  stats::TxCounters* c_ = nullptr;
+  int worker_;
+  Algo algo_;
+
+  SlotLayout slot_;
+  WriteIndex windex_;
+
+  uint64_t start_time_ = 0;
+  uint64_t epoch_ = 0;
+  size_t n_log_ = 0;
+  size_t n_alloc_log_ = 0;
+  bool active_persisted_ = false;  // eager: ACTIVE status already durable
+
+  std::vector<std::pair<std::atomic<uint64_t>*, uint64_t>> read_set_;
+  std::vector<OwnedOrec> owned_;
+  DirtyLines dirty_;
+  std::vector<void*> tx_allocs_;
+  std::vector<void*> tx_frees_;
+
+  uint64_t attempt_ = 0;
+  util::Rng rng_;
+};
+
+}  // namespace ptm

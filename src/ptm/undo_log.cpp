@@ -1,0 +1,3 @@
+#include "ptm/undo_log.h"
+
+// Header-only; TU kept for build-list uniformity.

@@ -1,0 +1,8 @@
+#include "sim/context.h"
+
+// ExecContext implementations are header-only; this TU anchors the vtable
+// for RealContext to keep link-time symbol placement deterministic.
+
+namespace sim {
+// (intentionally empty)
+}  // namespace sim

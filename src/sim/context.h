@@ -1,0 +1,68 @@
+// Execution contexts: the seam between the PTM/workload code and the
+// machine it runs on.
+//
+// All instrumented code (PTM load/store/clwb/sfence, workload compute
+// phases) charges cost through an ExecContext instead of spinning on the
+// host CPU. Two implementations exist:
+//
+//  * sim::SimContext (engine.h) — discrete-event simulation. Each worker
+//    owns a simulated clock; `advance()` may transfer control to another
+//    worker whose clock is behind. This is how we reproduce 32-thread
+//    scalability behaviour on a 1-core host: contention, lock-hold windows
+//    and bandwidth queueing all play out in simulated nanoseconds.
+//
+//  * sim::RealContext — plain pass-through for unit tests and examples that
+//    run on ordinary OS threads. `advance()` only accumulates a cost
+//    counter (no sleeping), so tests stay fast while exercising the exact
+//    same code paths.
+#pragma once
+
+#include <cstdint>
+
+namespace sim {
+
+class ExecContext {
+ public:
+  virtual ~ExecContext() = default;
+
+  /// Current simulated time (ns). RealContext returns accumulated cost.
+  virtual uint64_t now_ns() const = 0;
+
+  /// Charge `ns` of simulated time. Under DES this is a scheduling point.
+  virtual void advance(uint64_t ns) = 0;
+
+  /// Worker index in [0, num_workers).
+  virtual int worker_id() const = 0;
+
+  virtual int num_workers() const = 0;
+
+  /// Charge time until simulated instant `t` (no-op if already past it).
+  void advance_to(uint64_t t) {
+    const uint64_t n = now_ns();
+    if (t > n) advance(t - n);
+  }
+
+  /// True when this context is driven by the discrete-event engine. The
+  /// memory model only applies queueing/bandwidth modelling under DES.
+  virtual bool is_simulated() const = 0;
+};
+
+/// Pass-through context for ordinary threads (tests, examples).
+class RealContext final : public ExecContext {
+ public:
+  explicit RealContext(int worker_id = 0, int num_workers = 1)
+      : id_(worker_id), n_(num_workers) {}
+
+  uint64_t now_ns() const override { return cost_ns_; }
+  void advance(uint64_t ns) override { cost_ns_ += ns; }
+  int worker_id() const override { return id_; }
+  int num_workers() const override { return n_; }
+  bool is_simulated() const override { return false; }
+
+ private:
+  int id_;
+  int n_;
+  uint64_t cost_ns_ = 0;
+};
+
+}  // namespace sim

@@ -1,0 +1,101 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace sim {
+
+void SimContext::yield_to_scheduler() { engine_->yield_from(id_); }
+
+int SimContext::num_workers() const { return engine_->num_workers(); }
+
+Engine::Engine(int num_workers) : n_(num_workers) {
+  assert(num_workers > 0);
+  stacks_.reserve(static_cast<size_t>(n_));
+  for (int i = 0; i < n_; i++) stacks_.emplace_back(new char[kStackBytes]);
+  fibers_.resize(static_cast<size_t>(n_));
+}
+
+Engine::~Engine() = default;
+
+int Engine::pick_next(uint64_t* run_until) const {
+  int best = -1;
+  uint64_t best_t = std::numeric_limits<uint64_t>::max();
+  uint64_t second_t = std::numeric_limits<uint64_t>::max();
+  for (int i = 0; i < n_; i++) {
+    if (done_[static_cast<size_t>(i)]) continue;
+    const uint64_t t = ctx_[static_cast<size_t>(i)].time_ns_;
+    if (t < best_t) {
+      second_t = best_t;
+      best_t = t;
+      best = i;
+    } else if (t < second_t) {
+      second_t = t;
+    }
+  }
+  *run_until = second_t;
+  return best;
+}
+
+void Engine::trampoline(unsigned hi, unsigned lo) {
+  auto* engine_and_id = reinterpret_cast<uint64_t*>(
+      (static_cast<uint64_t>(hi) << 32) | static_cast<uint64_t>(lo));
+  auto* engine = reinterpret_cast<Engine*>(engine_and_id[0]);
+  const int id = static_cast<int>(engine_and_id[1]);
+  try {
+    (*engine->body_)(engine->ctx_[static_cast<size_t>(id)]);
+  } catch (...) {
+    if (!engine->first_error_) engine->first_error_ = std::current_exception();
+  }
+  engine->done_[static_cast<size_t>(id)] = true;
+  // Returning lands on uc_link == sched_ctx_.
+}
+
+void Engine::run(const std::function<void(ExecContext&)>& body) {
+  body_ = &body;
+  first_error_ = nullptr;
+  ctx_.assign(static_cast<size_t>(n_), SimContext{});
+  done_.assign(static_cast<size_t>(n_), false);
+
+  // Packed (engine, id) arguments must outlive makecontext's int params.
+  std::vector<std::array<uint64_t, 2>> args(static_cast<size_t>(n_));
+
+  for (int i = 0; i < n_; i++) {
+    auto& c = ctx_[static_cast<size_t>(i)];
+    c.engine_ = this;
+    c.id_ = i;
+    c.time_ns_ = 0;
+    c.run_until_ = 0;
+
+    ucontext_t& uc = fibers_[static_cast<size_t>(i)];
+    getcontext(&uc);
+    uc.uc_stack.ss_sp = stacks_[static_cast<size_t>(i)].get();
+    uc.uc_stack.ss_size = kStackBytes;
+    uc.uc_link = &sched_ctx_;
+    args[static_cast<size_t>(i)] = {reinterpret_cast<uint64_t>(this),
+                                    static_cast<uint64_t>(i)};
+    const auto packed = reinterpret_cast<uint64_t>(args[static_cast<size_t>(i)].data());
+    makecontext(&uc, reinterpret_cast<void (*)()>(&Engine::trampoline), 2,
+                static_cast<unsigned>(packed >> 32),
+                static_cast<unsigned>(packed & 0xffffffffu));
+  }
+
+  for (;;) {
+    uint64_t run_until = 0;
+    const int next = pick_next(&run_until);
+    if (next < 0) break;
+    ctx_[static_cast<size_t>(next)].run_until_ = run_until;
+    swapcontext(&sched_ctx_, &fibers_[static_cast<size_t>(next)]);
+  }
+
+  elapsed_ns_ = 0;
+  for (int i = 0; i < n_; i++) {
+    elapsed_ns_ = std::max(elapsed_ns_, ctx_[static_cast<size_t>(i)].time_ns_);
+  }
+  body_ = nullptr;
+
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+}  // namespace sim

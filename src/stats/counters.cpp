@@ -1,0 +1,33 @@
+#include "stats/counters.h"
+
+#include <algorithm>
+
+namespace stats {
+
+void TxCounters::add(const TxCounters& o) {
+  commits += o.commits;
+  aborts += o.aborts;
+  reads += o.reads;
+  writes += o.writes;
+  clwbs += o.clwbs;
+  sfences += o.sfences;
+  log_bytes += o.log_bytes;
+  log_lines_hwm = std::max(log_lines_hwm, o.log_lines_hwm);
+  pmem_loads += o.pmem_loads;
+  pmem_stores += o.pmem_stores;
+  dram_cache_hits += o.dram_cache_hits;
+  dram_cache_misses += o.dram_cache_misses;
+  l3_hits += o.l3_hits;
+  l3_misses += o.l3_misses;
+  wpq_stall_ns += o.wpq_stall_ns;
+  fence_wait_ns += o.fence_wait_ns;
+  energy_pj += o.energy_pj;
+}
+
+TxCounters aggregate(const std::vector<TxCounters>& per_thread) {
+  TxCounters total;
+  for (const auto& c : per_thread) total.add(c);
+  return total;
+}
+
+}  // namespace stats

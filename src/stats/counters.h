@@ -1,0 +1,47 @@
+// Per-thread event counters for the PTM runtime and the memory model.
+//
+// Every quantity the paper reports — committed transactions, aborts
+// (Tables I/II report commits-per-abort), clwb/sfence counts (Table III is
+// about fence cost), redo-log footprint high-watermarks (§IV.B) — is
+// accumulated here. Counters are per-thread and unsynchronized; aggregation
+// happens after workers join.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace stats {
+
+struct TxCounters {
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t clwbs = 0;
+  uint64_t sfences = 0;
+  uint64_t log_bytes = 0;           // bytes appended to redo/undo logs
+  uint64_t log_lines_hwm = 0;       // high-watermark of log cache lines per tx
+  uint64_t pmem_loads = 0;          // loads served by the persistent media
+  uint64_t pmem_stores = 0;
+  uint64_t dram_cache_hits = 0;     // PDRAM / Memory-Mode directory hits
+  uint64_t dram_cache_misses = 0;
+  uint64_t l3_hits = 0;
+  uint64_t l3_misses = 0;
+  uint64_t wpq_stall_ns = 0;        // simulated ns spent waiting on a full WPQ
+  uint64_t fence_wait_ns = 0;       // simulated ns spent in sfence drains
+  double energy_pj = 0;             // modelled dynamic energy (nvm::EnergyModel)
+
+  void add(const TxCounters& o);
+  void reset() { *this = TxCounters{}; }
+
+  /// Commits per abort; returns 0 when there are no aborts (matches the
+  /// paper's tables, which print 0 for the single-thread column).
+  double commit_abort_ratio() const {
+    return aborts == 0 ? 0.0 : static_cast<double>(commits) / static_cast<double>(aborts);
+  }
+};
+
+/// Sum a vector of per-thread counters.
+TxCounters aggregate(const std::vector<TxCounters>& per_thread);
+
+}  // namespace stats

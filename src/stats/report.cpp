@@ -1,0 +1,5 @@
+#include "stats/report.h"
+
+// RunResult is a plain aggregate; logic lives inline in the header. This
+// translation unit exists so the module has a home for future out-of-line
+// additions and to keep the build list uniform.

@@ -1,0 +1,29 @@
+// Result record for one (workload, configuration, thread-count) benchmark
+// point, plus throughput math shared by all bench binaries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "stats/counters.h"
+
+namespace stats {
+
+struct RunResult {
+  std::string workload;
+  std::string config;       // e.g. "Optane_ADR_R"
+  int threads = 1;
+  uint64_t sim_ns = 0;      // simulated wall time of the run (max worker clock)
+  TxCounters totals;
+
+  /// Committed transactions per simulated second.
+  double throughput_tx_per_sec() const {
+    if (sim_ns == 0) return 0.0;
+    return static_cast<double>(totals.commits) * 1e9 / static_cast<double>(sim_ns);
+  }
+
+  /// Throughput scaled to Mtx/s for compact table cells.
+  double throughput_mtx_per_sec() const { return throughput_tx_per_sec() / 1e6; }
+};
+
+}  // namespace stats

@@ -1,0 +1,39 @@
+// Fast deterministic pseudo-random number generation.
+//
+// Everything in this repository that needs randomness takes an explicit
+// Rng so experiments are reproducible (the discrete-event engine relies on
+// determinism for crash-test replay).
+#pragma once
+
+#include <cstdint>
+
+namespace util {
+
+/// xoshiro256** — fast, high-quality 64-bit PRNG (public-domain algorithm).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  /// Re-initialize the state from a single seed via splitmix64.
+  void reseed(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t next();
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  uint64_t next_bounded(uint64_t bound);
+
+  /// Uniform value in [lo, hi] inclusive.
+  uint64_t range(uint64_t lo, uint64_t hi) { return lo + next_bounded(hi - lo + 1); }
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// True with probability pct/100.
+  bool chance_pct(uint32_t pct) { return next_bounded(100) < pct; }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace util

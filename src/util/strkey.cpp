@@ -1,0 +1,23 @@
+#include "util/strkey.h"
+
+#include <cstdio>
+
+namespace util {
+
+uint64_t fnv1a(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < len; i++) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string padded_key(uint64_t v, int w) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%0*llu", w, static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace util

@@ -1,0 +1,38 @@
+// Fixed-size inline string keys for persistent containers. Persistent data
+// cannot hold std::string (heap pointers into volatile memory), so workloads
+// that need textual keys (the memcached-like store uses 128-byte keys) use
+// this POD type, which is safe to place in PMEM and to log word-by-word.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace util {
+
+template <size_t N>
+struct FixedKey {
+  static_assert(N % 8 == 0, "FixedKey size must be word-aligned for PTM logging");
+  char data[N];
+
+  FixedKey() { std::memset(data, 0, N); }
+  explicit FixedKey(const std::string& s) {
+    std::memset(data, 0, N);
+    std::memcpy(data, s.data(), std::min(s.size(), N - 1));
+  }
+
+  bool operator==(const FixedKey& o) const { return std::memcmp(data, o.data, N) == 0; }
+  bool operator<(const FixedKey& o) const { return std::memcmp(data, o.data, N) < 0; }
+
+  std::string str() const { return std::string(data, strnlen(data, N)); }
+};
+
+using Key128 = FixedKey<128>;
+
+/// 64-bit FNV-1a over an arbitrary byte range.
+uint64_t fnv1a(const void* data, size_t len);
+
+/// Render integer `v` as a zero-padded decimal key string of width `w`.
+std::string padded_key(uint64_t v, int w);
+
+}  // namespace util

@@ -1,0 +1,39 @@
+#include "util/zipf.h"
+
+#include <cmath>
+
+namespace util {
+namespace {
+
+double zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; i++) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
+  zetan_ = zeta(n, theta);
+  zeta2_ = zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) / (1.0 - zeta2_ / zetan_);
+}
+
+uint64_t ZipfGenerator::next(Rng& rng) {
+  const double u = rng.next_double();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const double v = static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  uint64_t r = static_cast<uint64_t>(v);
+  return r >= n_ ? n_ - 1 : r;
+}
+
+uint64_t nurand(Rng& rng, uint64_t a, uint64_t x, uint64_t y, uint64_t c) {
+  const uint64_t lhs = rng.range(0, a);
+  const uint64_t rhs = rng.range(x, y);
+  return (((lhs | rhs) + c) % (y - x + 1)) + x;
+}
+
+}  // namespace util

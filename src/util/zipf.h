@@ -1,0 +1,36 @@
+// Zipfian key-distribution generator (used by the key/value workload to
+// model skewed request popularity, and by TPCC's NURand helper).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace util {
+
+/// Draws values in [0, n) with Zipf(theta) popularity. Uses the standard
+/// YCSB/Gray et al. rejection-free formula with precomputed constants, so
+/// draws are O(1).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta);
+
+  uint64_t next(Rng& rng);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2_;
+};
+
+/// TPC-C NURand(A, x, y): non-uniform random within [x, y].
+uint64_t nurand(Rng& rng, uint64_t a, uint64_t x, uint64_t y, uint64_t c = 42);
+
+}  // namespace util

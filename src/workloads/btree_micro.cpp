@@ -1,0 +1,80 @@
+#include "workloads/btree_micro.h"
+
+#include <stdexcept>
+
+#include "containers/bptree.h"
+
+namespace workloads {
+
+namespace {
+struct Root {
+  uint64_t tree_root;
+};
+}  // namespace
+
+size_t BTreeMicro::pool_bytes() const { return 512ull << 20; }
+
+void BTreeMicro::setup(ptm::Runtime& rt, sim::ExecContext& ctx) {
+  root_ptr_ = &rt.pool().root<Root>()->tree_root;
+  rt.run(ctx, [&](ptm::Tx& tx) { cont::BPlusTree::create(tx, root_ptr_); });
+  next_key_.assign(static_cast<size_t>(rt.pool().config().max_workers), 0);
+
+  if (!p_.insert_only) {
+    // Preload half the key range so lookups/removes hit ~50%.
+    util::Rng rng(0xb7eeull);
+    for (uint64_t i = 0; i < p_.preload; i++) {
+      const uint64_t key = rng.next_bounded(p_.key_range);
+      rt.run(ctx, [&](ptm::Tx& tx) { cont::BPlusTree::insert(tx, root_ptr_, key, key); });
+    }
+  }
+}
+
+void BTreeMicro::op(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng) {
+  ctx.advance(p_.compute_ns);
+  if (p_.insert_only) {
+    // Worker-disjoint unique keys, bit-mixed so inserts spread over the
+    // tree instead of appending (matches DudeTM's random unique keys).
+    auto& seq = next_key_[static_cast<size_t>(ctx.worker_id())];
+    const uint64_t raw = seq++ * static_cast<uint64_t>(ctx.num_workers()) +
+                         static_cast<uint64_t>(ctx.worker_id());
+    // Multiplication by an odd constant is a bijection on 2^64: keys stay
+    // unique while spreading across the tree.
+    const uint64_t key = raw * 0x9e3779b97f4a7c15ull;
+    rt.run(ctx, [&](ptm::Tx& tx) { cont::BPlusTree::insert(tx, root_ptr_, key, raw); });
+    return;
+  }
+  const uint64_t key = rng.next_bounded(p_.key_range);
+  switch (rng.next_bounded(3)) {
+    case 0:
+      rt.run(ctx, [&](ptm::Tx& tx) { cont::BPlusTree::insert(tx, root_ptr_, key, key); });
+      break;
+    case 1:
+      rt.run(ctx, [&](ptm::Tx& tx) {
+        uint64_t out;
+        cont::BPlusTree::lookup(tx, root_ptr_, key, &out);
+      });
+      break;
+    default:
+      rt.run(ctx, [&](ptm::Tx& tx) { cont::BPlusTree::remove(tx, root_ptr_, key); });
+      break;
+  }
+}
+
+void BTreeMicro::verify(ptm::Runtime& rt, sim::ExecContext& ctx) {
+  // The leaf chain must be sorted and duplicate-free.
+  rt.run(ctx, [&](ptm::Tx& tx) {
+    const uint64_t n =
+        cont::BPlusTree::range_count(tx, root_ptr_, 0, ~0ull);
+    uint64_t expect = 0;
+    for (uint64_t s : next_key_) expect += s;
+    if (p_.insert_only && n != expect) {
+      throw std::runtime_error("BTreeMicro: key count mismatch after run");
+    }
+  });
+}
+
+WorkloadFactory btree_micro_factory(BTreeMicroParams p) {
+  return [p] { return std::make_unique<BTreeMicro>(p); };
+}
+
+}  // namespace workloads

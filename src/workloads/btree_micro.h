@@ -1,0 +1,40 @@
+// B+Tree microbenchmarks from the paper (§III.A, DudeTM's tree):
+//  * insert-only: unique-key insertions into an initially empty tree —
+//    each worker inserts a disjoint key stream;
+//  * mixed: an equal mix of inserts, lookups and removes over a bounded
+//    key range (the paper uses 2^21; scale via `key_range`).
+#pragma once
+
+#include "workloads/driver.h"
+
+namespace workloads {
+
+struct BTreeMicroParams {
+  bool insert_only = true;
+  uint64_t key_range = 1ull << 17;  // mixed mode: paper's 2^21, scaled
+  uint64_t preload = 1ull << 16;    // mixed mode: keys present at start
+  uint64_t compute_ns = 150;        // non-transactional work per op
+};
+
+class BTreeMicro final : public Workload {
+ public:
+  explicit BTreeMicro(BTreeMicroParams p) : p_(p) {}
+
+  std::string name() const override {
+    return p_.insert_only ? "BTree-insert" : "BTree-mixed";
+  }
+  size_t pool_bytes() const override;
+  void setup(ptm::Runtime& rt, sim::ExecContext& ctx) override;
+  void op(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng) override;
+  void verify(ptm::Runtime& rt, sim::ExecContext& ctx) override;
+
+ private:
+  BTreeMicroParams p_;
+  uint64_t* root_ptr_ = nullptr;  // pmem word in the app root area
+  uint64_t inserted_ = 0;         // insert-only: expected key count
+  std::vector<uint64_t> next_key_;  // per-worker unique key streams
+};
+
+WorkloadFactory btree_micro_factory(BTreeMicroParams p);
+
+}  // namespace workloads

@@ -1,0 +1,64 @@
+// Benchmark driver: builds a fresh pool + runtime for one experimental
+// point (workload, system config, algorithm, thread count), populates the
+// workload single-threaded, then runs the workers under the discrete-event
+// engine and returns the aggregated result.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "ptm/runtime.h"
+#include "sim/engine.h"
+#include "stats/report.h"
+#include "util/rng.h"
+
+namespace workloads {
+
+/// One benchmark application. Implementations own their pmem roots
+/// (assigned during setup) and define a single `op` — one application-level
+/// operation, usually one transaction plus any non-transactional work.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Pool size this workload needs (driver applies it to the config).
+  virtual size_t pool_bytes() const { return 256ull << 20; }
+
+  /// Populate initial state. Runs on a plain (non-simulated) context, so
+  /// population is not charged to the measured run.
+  virtual void setup(ptm::Runtime& rt, sim::ExecContext& ctx) = 0;
+
+  /// Execute one operation on behalf of `ctx`'s worker.
+  virtual void op(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng) = 0;
+
+  /// Optional invariant check after a run (used by integration tests).
+  virtual void verify(ptm::Runtime& rt, sim::ExecContext& ctx) { (void)rt, (void)ctx; }
+
+  /// Number of synthetic (virtual-payload) lines this workload allocated
+  /// during setup — the driver prewarms them into the PDRAM directory
+  /// alongside the real heap.
+  virtual uint64_t virtual_lines_used() const { return 0; }
+};
+
+using WorkloadFactory = std::function<std::unique_ptr<Workload>()>;
+
+struct RunPoint {
+  nvm::SystemConfig sys;
+  ptm::Algo algo = ptm::Algo::kOrecLazy;
+  int threads = 1;
+  uint64_t ops_per_thread = 1000;
+  uint64_t seed = 42;
+};
+
+/// Run one point end to end (fresh pool each call) and aggregate stats.
+stats::RunResult run_point(const WorkloadFactory& factory, const RunPoint& p);
+
+/// Ops-per-thread scale factor from the REPRO_OPS_SCALE environment
+/// variable (default 1.0) — lets users trade bench runtime for smoother
+/// curves without recompiling.
+double ops_scale();
+
+}  // namespace workloads

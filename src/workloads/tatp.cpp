@@ -1,0 +1,208 @@
+#include "workloads/tatp.h"
+
+#include <algorithm>
+
+namespace workloads {
+
+namespace {
+struct Root {
+  cont::HashMap::Handle subscribers;
+  cont::HashMap::Handle special_facility;
+  cont::HashMap::Handle access_info;
+  cont::HashMap::Handle call_forwarding;
+};
+}  // namespace
+
+size_t Tatp::pool_bytes() const {
+  // Rows + hash nodes across four tables plus slack.
+  return std::max<size_t>(256ull << 20, p_.subscribers * 768);
+}
+
+void Tatp::setup(ptm::Runtime& rt, sim::ExecContext& ctx) {
+  auto* root = rt.pool().root<Root>();
+  subscribers_ = &root->subscribers;
+  special_facility_ = &root->special_facility;
+  access_info_ = &root->access_info;
+  call_forwarding_ = &root->call_forwarding;
+
+  rt.run(ctx, [&](ptm::Tx& tx) {
+    cont::HashMap::create(tx, subscribers_, p_.subscribers);
+    cont::HashMap::create(tx, special_facility_, p_.subscribers * 2);
+    cont::HashMap::create(tx, access_info_, p_.subscribers * 2);
+    cont::HashMap::create(tx, call_forwarding_, p_.subscribers * 2);
+  });
+
+  for (uint64_t s = 0; s < p_.subscribers; s++) {
+    rt.run(ctx, [&](ptm::Tx& tx) {
+      auto* row = tx.alloc_obj<SubscriberRow>();
+      tx.write(&row->s_id, s);
+      tx.write(&row->bit_1, uint64_t{0});
+      tx.write(&row->vlr_location, uint64_t{0});
+      tx.write(&row->msc_location, uint64_t{0});
+      cont::HashMap::insert(tx, subscribers_, s, reinterpret_cast<uint64_t>(row));
+
+      // TATP: each subscriber has 1-4 special-facility rows; deterministic
+      // mix: sf_type=1 for all, sf_type=2 for even s_ids.
+      for (uint64_t sf = 1; sf <= (s % 2 == 0 ? 2u : 1u); sf++) {
+        auto* f = tx.alloc_obj<SpecialFacilityRow>();
+        tx.write(&f->key, s * 4 + sf);
+        tx.write(&f->is_active, uint64_t{s % 8 != 0});  // ~87% active
+        tx.write(&f->data_a, uint64_t{0});
+        tx.write(&f->data_b, uint64_t{0});
+        cont::HashMap::insert(tx, special_facility_, s * 4 + sf,
+                              reinterpret_cast<uint64_t>(f));
+      }
+      // 1-2 access-info rows per subscriber.
+      for (uint64_t ai = 1; ai <= (s % 3 == 0 ? 2u : 1u); ai++) {
+        auto* a = tx.alloc_obj<AccessInfoRow>();
+        tx.write(&a->key, s * 4 + ai);
+        tx.write(&a->data1, s);
+        tx.write(&a->data2, ai);
+        cont::HashMap::insert(tx, access_info_, s * 4 + ai, reinterpret_cast<uint64_t>(a));
+      }
+    });
+  }
+}
+
+void Tatp::get_subscriber_data(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng) {
+  const uint64_t s = rng.next_bounded(p_.subscribers);
+  rt.run(ctx, [&](ptm::Tx& tx) {
+    uint64_t row_word;
+    if (cont::HashMap::lookup(tx, subscribers_, s, &row_word)) {
+      auto* row = reinterpret_cast<SubscriberRow*>(row_word);
+      (void)tx.read(&row->bit_1);
+      (void)tx.read(&row->vlr_location);
+      (void)tx.read(&row->msc_location);
+    }
+  });
+}
+
+void Tatp::get_new_destination(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng) {
+  const uint64_t s = rng.next_bounded(p_.subscribers);
+  const uint64_t sf = rng.range(1, 2);
+  const uint64_t start = (rng.next_bounded(3)) * 8;
+  rt.run(ctx, [&](ptm::Tx& tx) {
+    uint64_t f_word;
+    if (!cont::HashMap::lookup(tx, special_facility_, s * 4 + sf, &f_word)) return;
+    auto* f = reinterpret_cast<SpecialFacilityRow*>(f_word);
+    if (tx.read(&f->is_active) == 0) return;
+    uint64_t cf_word;
+    if (cont::HashMap::lookup(tx, call_forwarding_, (s * 4 + sf) * 4 + start / 8,
+                              &cf_word)) {
+      auto* cf = reinterpret_cast<CallForwardingRow*>(cf_word);
+      (void)tx.read(&cf->numberx);
+    }
+  });
+}
+
+void Tatp::get_access_data(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng) {
+  const uint64_t s = rng.next_bounded(p_.subscribers);
+  const uint64_t ai = rng.range(1, 2);
+  rt.run(ctx, [&](ptm::Tx& tx) {
+    uint64_t a_word;
+    if (cont::HashMap::lookup(tx, access_info_, s * 4 + ai, &a_word)) {
+      auto* a = reinterpret_cast<AccessInfoRow*>(a_word);
+      (void)tx.read(&a->data1);
+      (void)tx.read(&a->data2);
+    }
+  });
+}
+
+void Tatp::update_subscriber_data(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng) {
+  const uint64_t s = rng.next_bounded(p_.subscribers);
+  const uint64_t bit = rng.next_bounded(2);
+  const uint64_t data = rng.next();
+  rt.run(ctx, [&](ptm::Tx& tx) {
+    uint64_t row_word;
+    if (cont::HashMap::lookup(tx, subscribers_, s, &row_word)) {
+      auto* row = reinterpret_cast<SubscriberRow*>(row_word);
+      tx.write(&row->bit_1, bit);
+    }
+    uint64_t f_word;
+    if (cont::HashMap::lookup(tx, special_facility_, s * 4 + 1, &f_word)) {
+      auto* f = reinterpret_cast<SpecialFacilityRow*>(f_word);
+      tx.write(&f->data_a, data);
+    }
+  });
+}
+
+void Tatp::update_location(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng) {
+  const uint64_t s = rng.next_bounded(p_.subscribers);
+  const uint64_t loc = rng.next();
+  rt.run(ctx, [&](ptm::Tx& tx) {
+    uint64_t row_word;
+    if (cont::HashMap::lookup(tx, subscribers_, s, &row_word)) {
+      auto* row = reinterpret_cast<SubscriberRow*>(row_word);
+      tx.write(&row->vlr_location, loc);
+    }
+  });
+}
+
+void Tatp::insert_call_forwarding(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng) {
+  const uint64_t s = rng.next_bounded(p_.subscribers);
+  const uint64_t sf = rng.range(1, 2);
+  const uint64_t start = rng.next_bounded(3) * 8;
+  const uint64_t key = (s * 4 + sf) * 4 + start / 8;
+  const uint64_t number = rng.next();
+  rt.run(ctx, [&](ptm::Tx& tx) {
+    uint64_t f_word;
+    if (!cont::HashMap::lookup(tx, special_facility_, s * 4 + sf, &f_word)) return;
+    uint64_t existing;
+    if (cont::HashMap::lookup(tx, call_forwarding_, key, &existing)) return;  // busy
+    auto* cf = tx.alloc_obj<CallForwardingRow>();
+    tx.write(&cf->key, key);
+    tx.write(&cf->end_time, start + 8);
+    tx.write(&cf->numberx, number);
+    cont::HashMap::insert(tx, call_forwarding_, key, reinterpret_cast<uint64_t>(cf));
+  });
+}
+
+void Tatp::delete_call_forwarding(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng) {
+  const uint64_t s = rng.next_bounded(p_.subscribers);
+  const uint64_t sf = rng.range(1, 2);
+  const uint64_t start = rng.next_bounded(3) * 8;
+  const uint64_t key = (s * 4 + sf) * 4 + start / 8;
+  rt.run(ctx, [&](ptm::Tx& tx) {
+    uint64_t cf_word;
+    if (cont::HashMap::lookup(tx, call_forwarding_, key, &cf_word)) {
+      cont::HashMap::remove(tx, call_forwarding_, key);
+      tx.dealloc(reinterpret_cast<void*>(cf_word));
+    }
+  });
+}
+
+void Tatp::op(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng) {
+  ctx.advance(p_.compute_ns);
+  if (p_.mix == TatpMix::kWriteOnly) {
+    // The paper's configuration: the two update transactions, 50/50.
+    if (rng.chance_pct(50)) {
+      update_subscriber_data(rt, ctx, rng);
+    } else {
+      update_location(rt, ctx, rng);
+    }
+    return;
+  }
+  // Standard TATP mix: 35/10/35 reads, 2/14/2/2 writes.
+  const uint64_t roll = rng.next_bounded(100);
+  if (roll < 35) {
+    get_subscriber_data(rt, ctx, rng);
+  } else if (roll < 45) {
+    get_new_destination(rt, ctx, rng);
+  } else if (roll < 80) {
+    get_access_data(rt, ctx, rng);
+  } else if (roll < 82) {
+    update_subscriber_data(rt, ctx, rng);
+  } else if (roll < 96) {
+    update_location(rt, ctx, rng);
+  } else if (roll < 98) {
+    insert_call_forwarding(rt, ctx, rng);
+  } else {
+    delete_call_forwarding(rt, ctx, rng);
+  }
+}
+
+WorkloadFactory tatp_factory(TatpParams p) {
+  return [p] { return std::make_unique<Tatp>(p); };
+}
+
+}  // namespace workloads

@@ -1,0 +1,78 @@
+// Write-only TATP telecom benchmark (paper §III.A, taken from DudeTM [16]).
+//
+// TATP models a Home Location Register. The write-only mix used by the
+// paper runs the two update transactions 50/50:
+//  * UPDATE_SUBSCRIBER_DATA: set SUBSCRIBER.bit_1 and
+//    SPECIAL_FACILITY.data_a for a random subscriber;
+//  * UPDATE_LOCATION: set SUBSCRIBER.vlr_location.
+// Every transaction writes only 1-2 words — the paper's explanation for
+// TATP being the one workload where undo logging is competitive (the O(W)
+// fence cost barely applies).
+#pragma once
+
+#include "containers/hashmap.h"
+#include "workloads/driver.h"
+
+namespace workloads {
+
+/// Transaction mix: the paper runs the write-only pair (UPDATE_SUBSCRIBER_
+/// DATA / UPDATE_LOCATION, 50/50); kStandard is the full TATP seven-
+/// transaction mix (80% reads / 20% writes).
+enum class TatpMix { kWriteOnly, kStandard };
+
+struct TatpParams {
+  TatpMix mix = TatpMix::kWriteOnly;
+  uint64_t subscribers = 100000;
+  uint64_t compute_ns = 400;  // request parsing etc. between transactions
+};
+
+class Tatp final : public Workload {
+ public:
+  explicit Tatp(TatpParams p) : p_(p) {}
+
+  std::string name() const override { return "TATP"; }
+  size_t pool_bytes() const override;
+  void setup(ptm::Runtime& rt, sim::ExecContext& ctx) override;
+  void op(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng) override;
+
+ private:
+  struct SubscriberRow {
+    uint64_t s_id;
+    uint64_t bit_1;
+    uint64_t vlr_location;
+    uint64_t msc_location;
+  };
+  struct SpecialFacilityRow {
+    uint64_t key;  // s_id * 4 + sf_type
+    uint64_t is_active;
+    uint64_t data_a;
+    uint64_t data_b;
+  };
+  struct AccessInfoRow {
+    uint64_t key;  // s_id * 4 + ai_type
+    uint64_t data1, data2;
+  };
+  struct CallForwardingRow {
+    uint64_t key;  // (s_id * 4 + sf_type) * 4 + start_time/8
+    uint64_t end_time;
+    uint64_t numberx;
+  };
+
+  void get_subscriber_data(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng);
+  void get_new_destination(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng);
+  void get_access_data(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng);
+  void update_subscriber_data(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng);
+  void update_location(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng);
+  void insert_call_forwarding(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng);
+  void delete_call_forwarding(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng);
+
+  TatpParams p_;
+  cont::HashMap::Handle* subscribers_ = nullptr;
+  cont::HashMap::Handle* special_facility_ = nullptr;
+  cont::HashMap::Handle* access_info_ = nullptr;
+  cont::HashMap::Handle* call_forwarding_ = nullptr;
+};
+
+WorkloadFactory tatp_factory(TatpParams p);
+
+}  // namespace workloads

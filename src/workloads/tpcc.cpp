@@ -1,0 +1,410 @@
+#include "workloads/tpcc.h"
+
+#include <stdexcept>
+
+#include "util/zipf.h"
+
+namespace workloads {
+
+namespace {
+
+enum Table {
+  kWarehouse = 0,
+  kDistrict,
+  kCustomer,
+  kItem,
+  kStock,
+  kOrder,
+  kNewOrder,
+  kOrderLine,
+  kHistory,
+};
+
+struct Root {
+  cont::HashMap::Handle hash[9];
+  uint64_t tree[9];
+};
+
+}  // namespace
+
+size_t Tpcc::pool_bytes() const {
+  const uint64_t rows = p_.warehouses * (1 + p_.districts_per_wh +
+                                         p_.districts_per_wh * p_.customers_per_district +
+                                         p_.items) +
+                        p_.items;
+  return std::max<uint64_t>(512ull << 20, rows * 768);
+}
+
+bool Tpcc::index_insert(ptm::Tx& tx, int table, uint64_t key, uint64_t val) {
+  if (p_.index == TpccIndex::kHashTable) {
+    return cont::HashMap::insert(tx, hash_[table], key, val);
+  }
+  return cont::BPlusTree::insert(tx, tree_[table], key, val);
+}
+
+bool Tpcc::index_lookup(ptm::Tx& tx, int table, uint64_t key, uint64_t* out) {
+  if (p_.index == TpccIndex::kHashTable) {
+    return cont::HashMap::lookup(tx, hash_[table], key, out);
+  }
+  return cont::BPlusTree::lookup(tx, tree_[table], key, out);
+}
+
+bool Tpcc::index_remove(ptm::Tx& tx, int table, uint64_t key) {
+  if (p_.index == TpccIndex::kHashTable) {
+    return cont::HashMap::remove(tx, hash_[table], key);
+  }
+  return cont::BPlusTree::remove(tx, tree_[table], key);
+}
+
+void Tpcc::setup(ptm::Runtime& rt, sim::ExecContext& ctx) {
+  auto* root = rt.pool().root<Root>();
+  const uint64_t row_hints[kNumTables] = {
+      p_.warehouses,
+      p_.warehouses * p_.districts_per_wh,
+      p_.warehouses * p_.districts_per_wh * p_.customers_per_district,
+      p_.items,
+      p_.warehouses * p_.items,
+      1 << 16,
+      1 << 16,
+      1 << 18,
+      1 << 16,
+  };
+  rt.run(ctx, [&](ptm::Tx& tx) {
+    for (int t = 0; t < kNumTables; t++) {
+      if (p_.index == TpccIndex::kHashTable) {
+        hash_[t] = &root->hash[t];
+        cont::HashMap::create(tx, hash_[t], row_hints[t]);
+      } else {
+        tree_[t] = &root->tree[t];
+        cont::BPlusTree::create(tx, tree_[t]);
+      }
+    }
+  });
+
+  // WAREHOUSE + DISTRICT.
+  for (uint64_t w = 0; w < p_.warehouses; w++) {
+    rt.run(ctx, [&](ptm::Tx& tx) {
+      auto* wr = tx.alloc_obj<WarehouseRow>();
+      tx.write(&wr->w_id, w);
+      tx.write(&wr->w_tax, uint64_t{7});
+      tx.write(&wr->w_ytd, uint64_t{0});
+      index_insert(tx, kWarehouse, w, reinterpret_cast<uint64_t>(wr));
+      for (uint64_t d = 0; d < p_.districts_per_wh; d++) {
+        auto* dr = tx.alloc_obj<DistrictRow>();
+        tx.write(&dr->d_key, dist_key(w, d));
+        tx.write(&dr->d_tax, uint64_t{5});
+        tx.write(&dr->d_ytd, uint64_t{0});
+        tx.write(&dr->d_next_o_id, uint64_t{1});
+        tx.write(&dr->d_next_del_o_id, uint64_t{1});
+        index_insert(tx, kDistrict, dist_key(w, d), reinterpret_cast<uint64_t>(dr));
+      }
+    });
+  }
+
+  // CUSTOMER (one transaction per district to bound log size).
+  for (uint64_t w = 0; w < p_.warehouses; w++) {
+    for (uint64_t d = 0; d < p_.districts_per_wh; d++) {
+      for (uint64_t c0 = 0; c0 < p_.customers_per_district; c0 += 64) {
+        rt.run(ctx, [&](ptm::Tx& tx) {
+          const uint64_t hi = std::min(c0 + 64, p_.customers_per_district);
+          for (uint64_t c = c0; c < hi; c++) {
+            auto* cr = tx.alloc_obj<CustomerRow>();
+            tx.write(&cr->c_key, cust_key(w, d, c));
+            tx.write(&cr->c_balance, uint64_t{1000});
+            tx.write(&cr->c_ytd_payment, uint64_t{0});
+            tx.write(&cr->c_payment_cnt, uint64_t{0});
+            tx.write(&cr->c_delivery_cnt, uint64_t{0});
+            tx.write(&cr->c_last_order, uint64_t{0});
+            index_insert(tx, kCustomer, cust_key(w, d, c), reinterpret_cast<uint64_t>(cr));
+          }
+        });
+      }
+    }
+  }
+
+  // ITEM + STOCK.
+  for (uint64_t i0 = 0; i0 < p_.items; i0 += 64) {
+    rt.run(ctx, [&](ptm::Tx& tx) {
+      const uint64_t hi = std::min(i0 + 64, p_.items);
+      for (uint64_t i = i0; i < hi; i++) {
+        auto* ir = tx.alloc_obj<ItemRow>();
+        tx.write(&ir->i_id, i);
+        tx.write(&ir->i_price, 100 + i % 900);
+        index_insert(tx, kItem, i, reinterpret_cast<uint64_t>(ir));
+      }
+    });
+  }
+  for (uint64_t w = 0; w < p_.warehouses; w++) {
+    for (uint64_t i0 = 0; i0 < p_.items; i0 += 64) {
+      rt.run(ctx, [&](ptm::Tx& tx) {
+        const uint64_t hi = std::min(i0 + 64, p_.items);
+        for (uint64_t i = i0; i < hi; i++) {
+          auto* sr = tx.alloc_obj<StockRow>();
+          tx.write(&sr->s_key, stock_key(w, i));
+          tx.write(&sr->s_quantity, uint64_t{50});
+          tx.write(&sr->s_ytd, uint64_t{0});
+          tx.write(&sr->s_order_cnt, uint64_t{0});
+          tx.write(&sr->s_remote_cnt, uint64_t{0});
+          index_insert(tx, kStock, stock_key(w, i), reinterpret_cast<uint64_t>(sr));
+        }
+      });
+    }
+  }
+  history_seq_.assign(static_cast<size_t>(rt.pool().config().max_workers), 0);
+}
+
+void Tpcc::new_order(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng) {
+  const uint64_t w = rng.next_bounded(p_.warehouses);
+  const uint64_t d = rng.next_bounded(p_.districts_per_wh);
+  const uint64_t c = util::nurand(rng, 1023, 0, p_.customers_per_district - 1);
+  const uint64_t n_items = rng.range(5, 15);
+  uint64_t item_ids[15];
+  for (uint64_t i = 0; i < n_items; i++) {
+    item_ids[i] = util::nurand(rng, 8191, 0, p_.items - 1);
+  }
+
+  rt.run(ctx, [&](ptm::Tx& tx) {
+    uint64_t wv, dv, cv;
+    if (!index_lookup(tx, kWarehouse, w, &wv)) throw std::runtime_error("missing wh");
+    auto* wr = reinterpret_cast<WarehouseRow*>(wv);
+    (void)tx.read(&wr->w_tax);
+
+    if (!index_lookup(tx, kDistrict, dist_key(w, d), &dv)) throw std::runtime_error("missing d");
+    auto* dr = reinterpret_cast<DistrictRow*>(dv);
+    (void)tx.read(&dr->d_tax);
+    const uint64_t o_id = tx.read(&dr->d_next_o_id);
+    tx.write(&dr->d_next_o_id, o_id + 1);
+
+    if (!index_lookup(tx, kCustomer, cust_key(w, d, c), &cv)) {
+      throw std::runtime_error("missing c");
+    }
+    (void)tx.read(&reinterpret_cast<CustomerRow*>(cv)->c_balance);
+
+    const uint64_t okey = order_key(w, d, o_id);
+    auto* order = tx.alloc_obj<OrderRow>();
+    tx.write(&order->o_key, okey);
+    tx.write(&order->o_c_id, c);
+    tx.write(&order->o_entry_d, ctx.now_ns());
+    tx.write(&order->o_ol_cnt, n_items);
+    tx.write(&order->o_carrier_id, uint64_t{0});
+    index_insert(tx, kOrder, okey, reinterpret_cast<uint64_t>(order));
+    index_insert(tx, kNewOrder, okey, reinterpret_cast<uint64_t>(order));
+    tx.write(&reinterpret_cast<CustomerRow*>(cv)->c_last_order, o_id);
+
+    for (uint64_t i = 0; i < n_items; i++) {
+      uint64_t iv, sv;
+      if (!index_lookup(tx, kItem, item_ids[i], &iv)) throw std::runtime_error("missing i");
+      const uint64_t price = tx.read(&reinterpret_cast<ItemRow*>(iv)->i_price);
+
+      if (!index_lookup(tx, kStock, stock_key(w, item_ids[i]), &sv)) {
+        throw std::runtime_error("missing s");
+      }
+      auto* sr = reinterpret_cast<StockRow*>(sv);
+      const uint64_t qty = tx.read(&sr->s_quantity);
+      const uint64_t need = rng.range(1, 10);
+      tx.write(&sr->s_quantity, qty >= need + 10 ? qty - need : qty + 91 - need);
+      tx.write(&sr->s_ytd, tx.read(&sr->s_ytd) + need);
+      tx.write(&sr->s_order_cnt, tx.read(&sr->s_order_cnt) + 1);
+
+      auto* ol = tx.alloc_obj<OrderLineRow>();
+      tx.write(&ol->ol_key, okey * 16 + i);
+      tx.write(&ol->ol_i_id, item_ids[i]);
+      tx.write(&ol->ol_quantity, need);
+      tx.write(&ol->ol_amount, need * price);
+      index_insert(tx, kOrderLine, okey * 16 + i, reinterpret_cast<uint64_t>(ol));
+    }
+  });
+}
+
+void Tpcc::payment(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng) {
+  const uint64_t w = rng.next_bounded(p_.warehouses);
+  const uint64_t d = rng.next_bounded(p_.districts_per_wh);
+  const uint64_t c = util::nurand(rng, 1023, 0, p_.customers_per_district - 1);
+  const uint64_t amount = rng.range(1, 5000);
+  const int worker = ctx.worker_id();
+
+  rt.run(ctx, [&](ptm::Tx& tx) {
+    uint64_t wv, dv, cv;
+    if (!index_lookup(tx, kWarehouse, w, &wv)) throw std::runtime_error("missing wh");
+    auto* wr = reinterpret_cast<WarehouseRow*>(wv);
+    tx.write(&wr->w_ytd, tx.read(&wr->w_ytd) + amount);
+
+    if (!index_lookup(tx, kDistrict, dist_key(w, d), &dv)) throw std::runtime_error("missing d");
+    auto* dr = reinterpret_cast<DistrictRow*>(dv);
+    tx.write(&dr->d_ytd, tx.read(&dr->d_ytd) + amount);
+
+    if (!index_lookup(tx, kCustomer, cust_key(w, d, c), &cv)) {
+      throw std::runtime_error("missing c");
+    }
+    auto* cr = reinterpret_cast<CustomerRow*>(cv);
+    tx.write(&cr->c_balance, tx.read(&cr->c_balance) - amount);
+    tx.write(&cr->c_ytd_payment, tx.read(&cr->c_ytd_payment) + amount);
+    tx.write(&cr->c_payment_cnt, tx.read(&cr->c_payment_cnt) + 1);
+
+    auto* hr = tx.alloc_obj<HistoryRow>();
+    const uint64_t h_key =
+        (static_cast<uint64_t>(worker) << 40) | history_seq_[static_cast<size_t>(worker)];
+    tx.write(&hr->h_key, h_key);
+    tx.write(&hr->h_c_key, cust_key(w, d, c));
+    tx.write(&hr->h_amount, amount);
+    tx.write(&hr->h_date, ctx.now_ns());
+    index_insert(tx, kHistory, h_key, reinterpret_cast<uint64_t>(hr));
+  });
+  history_seq_[static_cast<size_t>(worker)]++;
+}
+
+void Tpcc::op(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng) {
+  ctx.advance(p_.compute_ns);
+  if (p_.mix == TpccMix::kWriteOnly) {
+    // The paper's configuration: the two write transactions, 50/50.
+    if (rng.chance_pct(50)) {
+      new_order(rt, ctx, rng);
+    } else {
+      payment(rt, ctx, rng);
+    }
+    return;
+  }
+  // Standard TPC-C mix: 45% NewOrder, 43% Payment, 4% each of the rest.
+  const uint64_t roll = rng.next_bounded(100);
+  if (roll < 45) {
+    new_order(rt, ctx, rng);
+  } else if (roll < 88) {
+    payment(rt, ctx, rng);
+  } else if (roll < 92) {
+    order_status(rt, ctx, rng);
+  } else if (roll < 96) {
+    delivery(rt, ctx, rng);
+  } else {
+    stock_level(rt, ctx, rng);
+  }
+}
+
+void Tpcc::order_status(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng) {
+  const uint64_t w = rng.next_bounded(p_.warehouses);
+  const uint64_t d = rng.next_bounded(p_.districts_per_wh);
+  const uint64_t c = util::nurand(rng, 1023, 0, p_.customers_per_district - 1);
+
+  rt.run(ctx, [&](ptm::Tx& tx) {
+    uint64_t cv;
+    if (!index_lookup(tx, kCustomer, cust_key(w, d, c), &cv)) return;
+    auto* cr = reinterpret_cast<CustomerRow*>(cv);
+    (void)tx.read(&cr->c_balance);
+    const uint64_t o_id = tx.read(&cr->c_last_order);
+    if (o_id == 0) return;  // customer has never ordered
+
+    uint64_t ov;
+    const uint64_t okey = order_key(w, d, o_id);
+    if (!index_lookup(tx, kOrder, okey, &ov)) return;
+    auto* order = reinterpret_cast<OrderRow*>(ov);
+    (void)tx.read(&order->o_entry_d);
+    (void)tx.read(&order->o_carrier_id);
+    const uint64_t ol_cnt = tx.read(&order->o_ol_cnt);
+    for (uint64_t i = 0; i < ol_cnt; i++) {
+      uint64_t olv;
+      if (index_lookup(tx, kOrderLine, okey * 16 + i, &olv)) {
+        auto* ol = reinterpret_cast<OrderLineRow*>(olv);
+        (void)tx.read(&ol->ol_i_id);
+        (void)tx.read(&ol->ol_amount);
+      }
+    }
+  });
+}
+
+void Tpcc::delivery(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng) {
+  const uint64_t w = rng.next_bounded(p_.warehouses);
+  const uint64_t carrier = rng.range(1, 10);
+
+  // TPC-C delivers one batch per district; one transaction per district
+  // keeps write sets bounded (the spec explicitly allows this split).
+  for (uint64_t d = 0; d < p_.districts_per_wh; d++) {
+    rt.run(ctx, [&](ptm::Tx& tx) {
+      uint64_t dv;
+      if (!index_lookup(tx, kDistrict, dist_key(w, d), &dv)) return;
+      auto* dr = reinterpret_cast<DistrictRow*>(dv);
+      const uint64_t del = tx.read(&dr->d_next_del_o_id);
+      if (del >= tx.read(&dr->d_next_o_id)) return;  // nothing undelivered
+
+      const uint64_t okey = order_key(w, d, del);
+      uint64_t ov;
+      if (!index_lookup(tx, kOrder, okey, &ov)) return;
+      auto* order = reinterpret_cast<OrderRow*>(ov);
+      tx.write(&order->o_carrier_id, carrier);
+      const uint64_t ol_cnt = tx.read(&order->o_ol_cnt);
+      uint64_t amount = 0;
+      for (uint64_t i = 0; i < ol_cnt; i++) {
+        uint64_t olv;
+        if (index_lookup(tx, kOrderLine, okey * 16 + i, &olv)) {
+          amount += tx.read(&reinterpret_cast<OrderLineRow*>(olv)->ol_amount);
+        }
+      }
+      uint64_t cv;
+      const uint64_t c_id = tx.read(&order->o_c_id);
+      if (index_lookup(tx, kCustomer, cust_key(w, d, c_id), &cv)) {
+        auto* cr = reinterpret_cast<CustomerRow*>(cv);
+        tx.write(&cr->c_balance, tx.read(&cr->c_balance) + amount);
+        tx.write(&cr->c_delivery_cnt, tx.read(&cr->c_delivery_cnt) + 1);
+      }
+      index_remove(tx, kNewOrder, okey);
+      tx.write(&dr->d_next_del_o_id, del + 1);
+    });
+  }
+}
+
+void Tpcc::stock_level(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng) {
+  const uint64_t w = rng.next_bounded(p_.warehouses);
+  const uint64_t d = rng.next_bounded(p_.districts_per_wh);
+  const uint64_t threshold = rng.range(10, 20);
+
+  rt.run(ctx, [&](ptm::Tx& tx) {
+    uint64_t dv;
+    if (!index_lookup(tx, kDistrict, dist_key(w, d), &dv)) return;
+    const uint64_t next = tx.read(&reinterpret_cast<DistrictRow*>(dv)->d_next_o_id);
+    const uint64_t lo = next > 20 ? next - 20 : 1;
+    uint64_t low_stock = 0;
+    for (uint64_t o = lo; o < next; o++) {
+      const uint64_t okey = order_key(w, d, o);
+      uint64_t ov;
+      if (!index_lookup(tx, kOrder, okey, &ov)) continue;
+      const uint64_t ol_cnt = tx.read(&reinterpret_cast<OrderRow*>(ov)->o_ol_cnt);
+      for (uint64_t i = 0; i < ol_cnt; i++) {
+        uint64_t olv;
+        if (!index_lookup(tx, kOrderLine, okey * 16 + i, &olv)) continue;
+        const uint64_t item = tx.read(&reinterpret_cast<OrderLineRow*>(olv)->ol_i_id);
+        uint64_t sv;
+        if (index_lookup(tx, kStock, stock_key(w, item), &sv)) {
+          if (tx.read(&reinterpret_cast<StockRow*>(sv)->s_quantity) < threshold) {
+            low_stock++;
+          }
+        }
+      }
+    }
+    (void)low_stock;
+  });
+}
+
+void Tpcc::verify(ptm::Runtime& rt, sim::ExecContext& ctx) {
+  // TPC-C consistency condition 1 (adapted): warehouse ytd == sum of its
+  // districts' ytd, since every Payment adds `amount` to both.
+  rt.run(ctx, [&](ptm::Tx& tx) {
+    for (uint64_t w = 0; w < p_.warehouses; w++) {
+      uint64_t wv;
+      if (!index_lookup(tx, kWarehouse, w, &wv)) throw std::runtime_error("missing wh");
+      const uint64_t w_ytd = tx.read(&reinterpret_cast<WarehouseRow*>(wv)->w_ytd);
+      uint64_t sum = 0;
+      for (uint64_t d = 0; d < p_.districts_per_wh; d++) {
+        uint64_t dv;
+        if (!index_lookup(tx, kDistrict, dist_key(w, d), &dv)) {
+          throw std::runtime_error("missing d");
+        }
+        sum += tx.read(&reinterpret_cast<DistrictRow*>(dv)->d_ytd);
+      }
+      if (w_ytd != sum) throw std::runtime_error("TPCC: w_ytd != sum(d_ytd)");
+    }
+  });
+}
+
+WorkloadFactory tpcc_factory(TpccParams p) {
+  return [p] { return std::make_unique<Tpcc>(p); };
+}
+
+}  // namespace workloads

@@ -1,0 +1,110 @@
+// Write-only TPC-C (paper §III.A, from DudeTM [16]): the two write
+// transactions, NewOrder and Payment, run 50/50. Two index variants exist,
+// exactly as in the paper's "TPCC (B+Tree)" and "TPCC (Hash Table)"
+// configurations.
+//
+// The schema is the standard TPC-C subset these transactions touch:
+// WAREHOUSE, DISTRICT, CUSTOMER, ITEM, STOCK, ORDER, NEW-ORDER, ORDER-LINE,
+// HISTORY. Row structs hold word-sized fields; keys are composites packed
+// into uint64.
+#pragma once
+
+#include "containers/bptree.h"
+#include "containers/hashmap.h"
+#include "workloads/driver.h"
+
+namespace workloads {
+
+enum class TpccIndex { kBPlusTree, kHashTable };
+
+/// Transaction mix. The paper's "write-only TPCC from DudeTM" runs only
+/// the two write transactions (NewOrder/Payment, 50/50); kFull adds the
+/// complete TPC-C five-transaction mix (45/43/4/4/4) with OrderStatus,
+/// Delivery and StockLevel.
+enum class TpccMix { kWriteOnly, kFull };
+
+struct TpccParams {
+  TpccIndex index = TpccIndex::kHashTable;
+  TpccMix mix = TpccMix::kWriteOnly;
+  uint64_t warehouses = 4;
+  uint64_t districts_per_wh = 10;
+  uint64_t customers_per_district = 512;   // TPC-C: 3000, scaled
+  uint64_t items = 8192;                   // TPC-C: 100000, scaled
+  uint64_t compute_ns = 600;               // request handling between txns
+};
+
+class Tpcc final : public Workload {
+ public:
+  explicit Tpcc(TpccParams p) : p_(p) {}
+
+  std::string name() const override {
+    return p_.index == TpccIndex::kHashTable ? "TPCC-Hash" : "TPCC-BTree";
+  }
+  size_t pool_bytes() const override;
+  void setup(ptm::Runtime& rt, sim::ExecContext& ctx) override;
+  void op(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng) override;
+  void verify(ptm::Runtime& rt, sim::ExecContext& ctx) override;
+
+ private:
+  struct WarehouseRow {
+    uint64_t w_id, w_tax, w_ytd;
+  };
+  struct DistrictRow {
+    uint64_t d_key, d_tax, d_ytd, d_next_o_id;
+    uint64_t d_next_del_o_id;  // oldest undelivered order (Delivery cursor)
+  };
+  struct CustomerRow {
+    uint64_t c_key, c_balance, c_ytd_payment, c_payment_cnt, c_delivery_cnt;
+    uint64_t c_last_order;  // most recent o_id (OrderStatus entry point)
+  };
+  struct ItemRow {
+    uint64_t i_id, i_price;
+  };
+  struct StockRow {
+    uint64_t s_key, s_quantity, s_ytd, s_order_cnt, s_remote_cnt;
+  };
+  struct OrderRow {
+    uint64_t o_key, o_c_id, o_entry_d, o_ol_cnt, o_carrier_id;
+  };
+  struct OrderLineRow {
+    uint64_t ol_key, ol_i_id, ol_quantity, ol_amount;
+  };
+  struct HistoryRow {
+    uint64_t h_key, h_c_key, h_amount, h_date;
+  };
+
+  // Index abstraction: same call sites drive either container.
+  struct Index;
+
+  void new_order(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng);
+  void payment(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng);
+  void order_status(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng);
+  void delivery(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng);
+  void stock_level(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng);
+
+  // Key packing.
+  uint64_t dist_key(uint64_t w, uint64_t d) const { return w * 16 + d; }
+  uint64_t cust_key(uint64_t w, uint64_t d, uint64_t c) const {
+    return dist_key(w, d) * 65536 + c;
+  }
+  uint64_t stock_key(uint64_t w, uint64_t i) const { return w * 1048576 + i; }
+  uint64_t order_key(uint64_t w, uint64_t d, uint64_t o) const {
+    return dist_key(w, d) * (1ull << 32) + o;
+  }
+
+  bool index_insert(ptm::Tx& tx, int table, uint64_t key, uint64_t val);
+  bool index_lookup(ptm::Tx& tx, int table, uint64_t key, uint64_t* out);
+  bool index_remove(ptm::Tx& tx, int table, uint64_t key);
+
+  static constexpr int kNumTables = 9;
+  TpccParams p_;
+  // Per-table index roots (pmem): HashMap handles or B+Tree root words.
+  cont::HashMap::Handle* hash_[kNumTables] = {};
+  uint64_t* tree_[kNumTables] = {};
+  std::vector<uint64_t> history_seq_;  // per-worker unique history keys
+  uint64_t expected_ytd_probe_ = 0;    // verify helper
+};
+
+WorkloadFactory tpcc_factory(TpccParams p);
+
+}  // namespace workloads

@@ -1,0 +1,220 @@
+#include "workloads/vacation.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace workloads {
+
+namespace {
+struct Root {
+  cont::HashMap::Handle res[3];
+  cont::HashMap::Handle customers;
+};
+}  // namespace
+
+VacationParams vacation_low() {
+  VacationParams p;
+  p.queries_per_task = 2;
+  p.query_pct = 90;
+  p.user_pct = 98;
+  return p;
+}
+
+VacationParams vacation_high() {
+  VacationParams p;
+  p.queries_per_task = 4;
+  p.query_pct = 60;
+  p.user_pct = 90;
+  return p;
+}
+
+size_t Vacation::pool_bytes() const {
+  return std::max<size_t>(512ull << 20,
+                          (p_.relations * 3 + p_.customers) * 512);
+}
+
+void Vacation::setup(ptm::Runtime& rt, sim::ExecContext& ctx) {
+  auto* root = rt.pool().root<Root>();
+  for (int t = 0; t < kNumResTables; t++) res_tables_[t] = &root->res[t];
+  customers_ = &root->customers;
+
+  rt.run(ctx, [&](ptm::Tx& tx) {
+    for (int t = 0; t < kNumResTables; t++) {
+      cont::HashMap::create(tx, res_tables_[t], p_.relations);
+    }
+    cont::HashMap::create(tx, customers_, p_.customers);
+  });
+
+  for (int t = 0; t < kNumResTables; t++) {
+    for (uint64_t i0 = 0; i0 < p_.relations; i0 += 64) {
+      rt.run(ctx, [&](ptm::Tx& tx) {
+        const uint64_t hi = std::min(i0 + 64, p_.relations);
+        for (uint64_t i = i0; i < hi; i++) {
+          auto* r = tx.alloc_obj<Resource>();
+          tx.write(&r->id, i);
+          tx.write(&r->total, uint64_t{100});
+          tx.write(&r->used, uint64_t{0});
+          tx.write(&r->price, 50 + (i * 37) % 450);
+          cont::HashMap::insert(tx, res_tables_[t], i, reinterpret_cast<uint64_t>(r));
+        }
+      });
+    }
+  }
+  for (uint64_t c0 = 0; c0 < p_.customers; c0 += 64) {
+    rt.run(ctx, [&](ptm::Tx& tx) {
+      const uint64_t hi = std::min(c0 + 64, p_.customers);
+      for (uint64_t c = c0; c < hi; c++) {
+        auto* cu = tx.alloc_obj<Customer>();
+        tx.write(&cu->id, c);
+        tx.write(&cu->reservations, uint64_t{0});
+        cont::HashMap::insert(tx, customers_, c, reinterpret_cast<uint64_t>(cu));
+      }
+    });
+  }
+}
+
+void Vacation::make_reservation(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng) {
+  // Pre-draw the query set (non-transactional client work, as in STAMP).
+  const uint64_t query_range =
+      std::max<uint64_t>(1, p_.relations * static_cast<uint64_t>(p_.query_pct) / 100);
+  int tables[8];
+  uint64_t ids[8];
+  const int n = p_.queries_per_task;
+  for (int i = 0; i < n; i++) {
+    tables[i] = static_cast<int>(rng.next_bounded(kNumResTables));
+    ids[i] = rng.next_bounded(query_range);
+  }
+  const uint64_t cust = rng.next_bounded(p_.customers);
+
+  rt.run(ctx, [&](ptm::Tx& tx) {
+    // Query phase: find the highest-priced available resource.
+    int best = -1;
+    uint64_t best_price = 0;
+    for (int i = 0; i < n; i++) {
+      uint64_t rv;
+      if (!cont::HashMap::lookup(tx, res_tables_[tables[i]], ids[i], &rv)) continue;
+      auto* r = reinterpret_cast<Resource*>(rv);
+      const uint64_t total = tx.read(&r->total);
+      const uint64_t used = tx.read(&r->used);
+      if (used >= total) continue;
+      const uint64_t price = tx.read(&r->price);
+      if (best < 0 || price > best_price) {
+        best = i;
+        best_price = price;
+      }
+    }
+    if (best < 0) return;
+
+    uint64_t rv, cv;
+    if (!cont::HashMap::lookup(tx, res_tables_[tables[best]], ids[best], &rv)) return;
+    auto* r = reinterpret_cast<Resource*>(rv);
+    tx.write(&r->used, tx.read(&r->used) + 1);
+
+    if (!cont::HashMap::lookup(tx, customers_, cust, &cv)) return;
+    auto* cu = reinterpret_cast<Customer*>(cv);
+    auto* node = tx.alloc_obj<Reservation>();
+    tx.write(&node->table, static_cast<uint64_t>(tables[best]));
+    tx.write(&node->id, ids[best]);
+    tx.write(&node->price, best_price);
+    tx.write(&node->next, tx.read(&cu->reservations));
+    tx.write(&cu->reservations, reinterpret_cast<uint64_t>(node));
+  });
+}
+
+void Vacation::delete_customer(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng) {
+  const uint64_t cust = rng.next_bounded(p_.customers);
+  rt.run(ctx, [&](ptm::Tx& tx) {
+    uint64_t cv;
+    if (!cont::HashMap::lookup(tx, customers_, cust, &cv)) return;
+    auto* cu = reinterpret_cast<Customer*>(cv);
+    // Release every reservation and free the list.
+    uint64_t cur = tx.read(&cu->reservations);
+    while (cur != 0) {
+      auto* node = reinterpret_cast<Reservation*>(cur);
+      const uint64_t table = tx.read(&node->table);
+      const uint64_t id = tx.read(&node->id);
+      uint64_t rv;
+      if (cont::HashMap::lookup(tx, res_tables_[table], id, &rv)) {
+        auto* r = reinterpret_cast<Resource*>(rv);
+        const uint64_t used = tx.read(&r->used);
+        if (used > 0) tx.write(&r->used, used - 1);
+      }
+      const uint64_t next = tx.read(&node->next);
+      tx.dealloc(node);
+      cur = next;
+    }
+    tx.write(&cu->reservations, uint64_t{0});
+  });
+}
+
+void Vacation::update_tables(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng) {
+  // STAMP's add/remove of resource availability ("manager" tasks).
+  const int n = p_.queries_per_task;
+  rt.run(ctx, [&](ptm::Tx& tx) {
+    for (int i = 0; i < n; i++) {
+      const int table = static_cast<int>(rng.next() % kNumResTables);
+      const uint64_t id = rng.next() % p_.relations;
+      uint64_t rv;
+      if (!cont::HashMap::lookup(tx, res_tables_[table], id, &rv)) continue;
+      auto* r = reinterpret_cast<Resource*>(rv);
+      if (rng.next() % 2 == 0) {
+        tx.write(&r->total, tx.read(&r->total) + 10);
+      } else {
+        const uint64_t total = tx.read(&r->total);
+        const uint64_t used = tx.read(&r->used);
+        if (total >= used + 10) {
+          tx.write(&r->total, total - 10);
+        }
+        tx.write(&r->price, 50 + (rng.next() % 450));
+      }
+    }
+  });
+}
+
+void Vacation::op(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng) {
+  // Client-side work between transactions (request parsing, itinerary
+  // assembly) — significant for Vacation, per the paper.
+  ctx.advance(p_.inter_tx_work_ns);
+  const uint64_t roll = rng.next_bounded(100);
+  if (roll < static_cast<uint64_t>(p_.user_pct)) {
+    make_reservation(rt, ctx, rng);
+  } else if (roll < static_cast<uint64_t>(p_.user_pct) + (100 - p_.user_pct) / 2) {
+    delete_customer(rt, ctx, rng);
+  } else {
+    update_tables(rt, ctx, rng);
+  }
+}
+
+void Vacation::verify(ptm::Runtime& rt, sim::ExecContext& ctx) {
+  // Sum of customers' reservations per resource must equal the resource's
+  // `used` count.
+  rt.run(ctx, [&](ptm::Tx& tx) {
+    std::vector<uint64_t> used_count(static_cast<size_t>(p_.relations) * kNumResTables, 0);
+    for (uint64_t c = 0; c < p_.customers; c++) {
+      uint64_t cv;
+      if (!cont::HashMap::lookup(tx, customers_, c, &cv)) continue;
+      auto* cu = reinterpret_cast<Customer*>(cv);
+      for (uint64_t cur = tx.read(&cu->reservations); cur != 0;) {
+        auto* node = reinterpret_cast<Reservation*>(cur);
+        used_count[tx.read(&node->table) * p_.relations + tx.read(&node->id)]++;
+        cur = tx.read(&node->next);
+      }
+    }
+    for (int t = 0; t < kNumResTables; t++) {
+      for (uint64_t i = 0; i < p_.relations; i++) {
+        uint64_t rv;
+        if (!cont::HashMap::lookup(tx, res_tables_[t], i, &rv)) continue;
+        auto* r = reinterpret_cast<Resource*>(rv);
+        if (tx.read(&r->used) != used_count[static_cast<uint64_t>(t) * p_.relations + i]) {
+          throw std::runtime_error("Vacation: used != reservations");
+        }
+      }
+    }
+  });
+}
+
+WorkloadFactory vacation_factory(VacationParams p) {
+  return [p] { return std::make_unique<Vacation>(p); };
+}
+
+}  // namespace workloads

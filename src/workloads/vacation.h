@@ -1,0 +1,75 @@
+// Vacation travel-reservation benchmark (STAMP [41], via Whisper [42]).
+//
+// The manager keeps four tables: cars, flights, rooms (resources with
+// total/used counts and a price) and customers (each with a linked list of
+// reservations). Task mix follows STAMP's parameters:
+//  * queries_per_task (n): relations touched per transaction;
+//  * query_pct (q): fraction of the resource-id range queried;
+//  * user_pct (u): % of tasks that are MakeReservation; the rest split
+//    between DeleteCustomer and UpdateTables.
+// The paper runs "low" (-n2 -q90 -u98) and "high" (-n4 -q60 -u90)
+// contention configurations; relations are scaled from STAMP's 2^20.
+//
+// Vacation is the paper's example of a workload with substantial
+// *non-transactional* work between transactions, which mutes eADR's
+// advantage (§III.C) — modelled by `inter_tx_work_ns`.
+#pragma once
+
+#include "containers/hashmap.h"
+#include "workloads/driver.h"
+
+namespace workloads {
+
+struct VacationParams {
+  int queries_per_task = 2;       // -n
+  int query_pct = 90;             // -q
+  int user_pct = 98;              // -u
+  uint64_t relations = 16384;     // -r (STAMP: 2^20, scaled)
+  uint64_t customers = 16384;
+  uint64_t inter_tx_work_ns = 2500;
+};
+
+VacationParams vacation_low();
+VacationParams vacation_high();
+
+class Vacation final : public Workload {
+ public:
+  explicit Vacation(VacationParams p) : p_(p) {}
+
+  std::string name() const override {
+    return p_.user_pct >= 95 ? "Vacation-low" : "Vacation-high";
+  }
+  size_t pool_bytes() const override;
+  void setup(ptm::Runtime& rt, sim::ExecContext& ctx) override;
+  void op(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng) override;
+  void verify(ptm::Runtime& rt, sim::ExecContext& ctx) override;
+
+ private:
+  struct Resource {
+    uint64_t id, total, used, price;
+  };
+  struct Reservation {  // customer's linked-list node
+    uint64_t table;     // 0 car, 1 flight, 2 room
+    uint64_t id;
+    uint64_t price;
+    uint64_t next;
+  };
+  struct Customer {
+    uint64_t id;
+    uint64_t reservations;  // list head
+  };
+
+  static constexpr int kNumResTables = 3;
+
+  void make_reservation(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng);
+  void delete_customer(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng);
+  void update_tables(ptm::Runtime& rt, sim::ExecContext& ctx, util::Rng& rng);
+
+  VacationParams p_;
+  cont::HashMap::Handle* res_tables_[kNumResTables] = {};
+  cont::HashMap::Handle* customers_ = nullptr;
+};
+
+WorkloadFactory vacation_factory(VacationParams p);
+
+}  // namespace workloads

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "alloc/persistent_alloc.h"
+#include "test_common.h"
+
+namespace {
+
+struct AllocFixture : ::testing::Test {
+  AllocFixture() : pool(test::small_cfg()), alloc(pool) {}
+  nvm::Pool pool;
+  alloc::PersistentAllocator alloc;
+  sim::RealContext ctx{0, 8};
+};
+
+}  // namespace
+
+TEST(AllocClasses, ClassForRoundsUp) {
+  using A = alloc::PersistentAllocator;
+  EXPECT_EQ(A::class_size(A::class_for(1)), 16u);
+  EXPECT_EQ(A::class_size(A::class_for(16)), 16u);
+  EXPECT_EQ(A::class_size(A::class_for(17)), 32u);
+  EXPECT_EQ(A::class_size(A::class_for(300)), 384u);
+  EXPECT_EQ(A::class_size(A::class_for(65536)), 65536u);
+  EXPECT_LT(A::class_for(65537), 0);
+}
+
+TEST_F(AllocFixture, AllocReturnsAlignedDistinctBlocks) {
+  std::set<void*> seen;
+  for (int i = 0; i < 100; i++) {
+    void* p = alloc.alloc(ctx, nullptr, 64);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 8, 0u);
+    EXPECT_TRUE(pool.contains(p));
+    EXPECT_TRUE(seen.insert(p).second);
+  }
+}
+
+TEST_F(AllocFixture, UsableSizeMatchesClass) {
+  void* p = alloc.alloc(ctx, nullptr, 100);
+  EXPECT_EQ(alloc.usable_size(p), 128u);
+}
+
+TEST_F(AllocFixture, FreeThenAllocRecycles) {
+  void* p = alloc.alloc(ctx, nullptr, 64);
+  alloc.free_block(ctx, nullptr, p);
+  void* q = alloc.alloc(ctx, nullptr, 64);
+  EXPECT_EQ(p, q);
+}
+
+TEST_F(AllocFixture, FreeListIsPerClass) {
+  void* p64 = alloc.alloc(ctx, nullptr, 64);
+  alloc.free_block(ctx, nullptr, p64);
+  void* p128 = alloc.alloc(ctx, nullptr, 128);  // different class: no reuse
+  EXPECT_NE(p64, p128);
+  void* q64 = alloc.alloc(ctx, nullptr, 33);  // class 48... not 64
+  EXPECT_NE(p64, q64);
+  void* r64 = alloc.alloc(ctx, nullptr, 64);
+  EXPECT_EQ(p64, r64);
+}
+
+TEST_F(AllocFixture, InFreeListMembership) {
+  void* p = alloc.alloc(ctx, nullptr, 64);
+  EXPECT_FALSE(alloc.in_free_list(p));
+  alloc.free_block(ctx, nullptr, p);
+  EXPECT_TRUE(alloc.in_free_list(p));
+}
+
+TEST_F(AllocFixture, FreeIfAbsentIsIdempotent) {
+  void* p = alloc.alloc(ctx, nullptr, 64);
+  alloc.free_block_if_absent(ctx, nullptr, p);
+  alloc.free_block_if_absent(ctx, nullptr, p);  // second call must no-op
+  void* q = alloc.alloc(ctx, nullptr, 64);
+  EXPECT_EQ(q, p);
+  // p must now be OFF the list: a further alloc gets fresh memory.
+  void* r = alloc.alloc(ctx, nullptr, 64);
+  EXPECT_NE(r, p);
+}
+
+TEST_F(AllocFixture, PerWorkerListsAreIndependent) {
+  sim::RealContext w1(1, 8);
+  void* p = alloc.alloc(ctx, nullptr, 64);
+  alloc.free_block(ctx, nullptr, p);  // on worker 0's list
+  void* q = alloc.alloc(w1, nullptr, 64);
+  EXPECT_NE(q, p);  // worker 1 does not steal worker 0's block
+}
+
+TEST_F(AllocFixture, HighWaterGrowsMonotonically) {
+  const uint64_t before = alloc.high_water_bytes();
+  alloc.alloc(ctx, nullptr, 4096);
+  const uint64_t after = alloc.high_water_bytes();
+  EXPECT_GT(after, before);
+  // Recycled allocations do not move the high-water mark.
+  void* p = alloc.alloc(ctx, nullptr, 64);
+  alloc.free_block(ctx, nullptr, p);
+  const uint64_t mid = alloc.high_water_bytes();
+  alloc.alloc(ctx, nullptr, 64);
+  EXPECT_EQ(alloc.high_water_bytes(), mid);
+}
+
+TEST_F(AllocFixture, RawAllocIsLineAligned) {
+  void* p = alloc.alloc_raw(ctx, nullptr, 1 << 20);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 64, 0u);
+  EXPECT_TRUE(pool.contains(p));
+  EXPECT_TRUE(pool.contains(static_cast<char*>(p) + (1 << 20) - 1));
+}
+
+TEST_F(AllocFixture, ExhaustionThrowsBadAlloc) {
+  EXPECT_THROW(
+      {
+        for (;;) alloc.alloc_raw(ctx, nullptr, 4 << 20);
+      },
+      std::bad_alloc);
+}
+
+TEST_F(AllocFixture, OversizeThrowsInvalidArgument) {
+  EXPECT_THROW(alloc.alloc(ctx, nullptr, 65537), std::invalid_argument);
+}
+
+TEST(AllocPersistence, StateSurvivesReconstruction) {
+  // Allocator metadata lives in pmem: a second allocator over the same pool
+  // sees the same free lists and high-water mark.
+  auto cfg = test::small_cfg();
+  nvm::Pool pool(cfg);
+  sim::RealContext ctx{0, 8};
+  void* p;
+  uint64_t hw;
+  {
+    alloc::PersistentAllocator a1(pool);
+    p = a1.alloc(ctx, nullptr, 64);
+    a1.free_block(ctx, nullptr, p);
+    hw = a1.high_water_bytes();
+  }
+  alloc::PersistentAllocator a2(pool);
+  EXPECT_EQ(a2.high_water_bytes(), hw);
+  EXPECT_TRUE(a2.in_free_list(p));
+  EXPECT_EQ(a2.alloc(ctx, nullptr, 64), p);
+}

@@ -1,0 +1,86 @@
+// Allocator crash-consistency property tests: after a power failure at an
+// arbitrary persistence event, recovery must leave the heap free of
+// *double allocations* (a block reachable both from committed data and
+// from a free list, or handed out twice). Leaks are permitted (documented
+// Makalu-style trade-off); corruption is not.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ptm/runtime.h"
+#include "test_common.h"
+
+namespace {
+
+struct Root {
+  uint64_t slots[64];  // pointers to live blocks
+};
+
+class AllocCrashTest : public ::testing::TestWithParam<ptm::Algo> {};
+
+TEST_P(AllocCrashTest, NoDoubleAllocationAfterRecovery) {
+  for (uint64_t trial = 0; trial < 15; trial++) {
+    auto cfg = test::small_cfg(nvm::Domain::kAdr, nvm::Media::kOptane, /*crash_sim=*/true);
+    cfg.pool_size = 16ull << 20;
+    cfg.max_workers = 4;
+    cfg.per_worker_meta_bytes = 1ull << 17;
+    nvm::Pool pool(cfg);
+    ptm::Runtime rt(pool, GetParam());
+    sim::RealContext ctx(0, 4);
+    auto* root = pool.root<Root>();
+    pool.mem().checkpoint_all_persistent();
+
+    util::Rng rng(9100 + trial);
+    pool.mem().arm_crash_after(30 + rng.next_bounded(1500), trial * 13 + 1);
+
+    // Churn: allocate into random slots, freeing whatever was there.
+    try {
+      for (int t = 0; t < 300; t++) {
+        const uint64_t s = rng.next_bounded(64);
+        const uint64_t sz = 16 + rng.next_bounded(100);
+        rt.run(ctx, [&](ptm::Tx& tx) {
+          const uint64_t old = tx.read(&root->slots[s]);
+          if (old != 0) tx.dealloc(reinterpret_cast<void*>(old));
+          auto* blk = static_cast<uint64_t*>(tx.alloc(sz));
+          tx.write(blk, s);  // stamp ownership
+          tx.write(&root->slots[s], reinterpret_cast<uint64_t>(blk));
+        });
+      }
+    } catch (const nvm::CrashPoint&) {
+    }
+
+    util::Rng r2(17);
+    pool.simulate_power_failure(r2);
+    rt.recover(ctx);
+
+    // 1. No live slot may point at a block that sits on a free list.
+    auto& allocator = rt.allocator();
+    std::set<uint64_t> live;
+    for (int s = 0; s < 64; s++) {
+      const uint64_t p = root->slots[s];
+      if (p == 0) continue;
+      EXPECT_TRUE(live.insert(p).second) << "two slots share a block";
+      EXPECT_FALSE(allocator.in_free_list(reinterpret_cast<void*>(p)))
+          << "live block is simultaneously free (trial " << trial << ")";
+    }
+
+    // 2. Fresh allocations must never alias a live block.
+    std::set<void*> fresh;
+    rt.run(ctx, [&](ptm::Tx& tx) {
+      for (int i = 0; i < 128; i++) {
+        void* p = tx.alloc(64);
+        EXPECT_TRUE(fresh.insert(p).second) << "allocator returned a block twice";
+        EXPECT_EQ(live.count(reinterpret_cast<uint64_t>(p)), 0u)
+            << "fresh allocation aliases committed data (trial " << trial << ")";
+      }
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, AllocCrashTest,
+                         ::testing::Values(ptm::Algo::kOrecLazy, ptm::Algo::kOrecEager),
+                         [](const ::testing::TestParamInfo<ptm::Algo>& i) {
+                           return std::string(ptm::algo_suffix(i.param));
+                         });
+
+}  // namespace

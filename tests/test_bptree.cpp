@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "containers/bptree.h"
+#include "ptm/runtime.h"
+#include "sim/engine.h"
+#include "test_common.h"
+
+namespace {
+
+struct Root {
+  uint64_t tree;
+};
+
+class BPTreeTest : public ::testing::TestWithParam<ptm::Algo> {
+ protected:
+  BPTreeTest() : fx_(test::small_cfg(nvm::Domain::kEadr), GetParam()) {
+    root_ = &fx_.pool.root<Root>()->tree;
+    fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) { cont::BPlusTree::create(tx, root_); });
+  }
+
+  bool insert(uint64_t k, uint64_t v) {
+    bool r = false;
+    fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) { r = cont::BPlusTree::insert(tx, root_, k, v); });
+    return r;
+  }
+  bool lookup(uint64_t k, uint64_t* out = nullptr) {
+    bool r = false;
+    fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) { r = cont::BPlusTree::lookup(tx, root_, k, out); });
+    return r;
+  }
+  bool remove(uint64_t k) {
+    bool r = false;
+    fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) { r = cont::BPlusTree::remove(tx, root_, k); });
+    return r;
+  }
+  uint64_t count(uint64_t lo, uint64_t hi) {
+    uint64_t n = 0;
+    fx_.rt.run(fx_.ctx,
+               [&](ptm::Tx& tx) { n = cont::BPlusTree::range_count(tx, root_, lo, hi); });
+    return n;
+  }
+
+  test::Fixture fx_;
+  uint64_t* root_;
+};
+
+TEST_P(BPTreeTest, EmptyTreeLookupFails) {
+  uint64_t v;
+  EXPECT_FALSE(lookup(1, &v));
+  EXPECT_EQ(count(0, ~0ull), 0u);
+}
+
+TEST_P(BPTreeTest, InsertThenLookup) {
+  EXPECT_TRUE(insert(42, 420));
+  uint64_t v = 0;
+  EXPECT_TRUE(lookup(42, &v));
+  EXPECT_EQ(v, 420u);
+  EXPECT_FALSE(lookup(43, &v));
+}
+
+TEST_P(BPTreeTest, DuplicateInsertOverwrites) {
+  EXPECT_TRUE(insert(7, 1));
+  EXPECT_FALSE(insert(7, 2));
+  uint64_t v = 0;
+  EXPECT_TRUE(lookup(7, &v));
+  EXPECT_EQ(v, 2u);
+  EXPECT_EQ(count(0, ~0ull), 1u);
+}
+
+TEST_P(BPTreeTest, SplitsPreserveAllKeys) {
+  // Enough sequential keys to force multiple levels (fanout 16).
+  constexpr uint64_t kN = 2000;
+  for (uint64_t k = 0; k < kN; k++) ASSERT_TRUE(insert(k, k * 10));
+  for (uint64_t k = 0; k < kN; k++) {
+    uint64_t v = 0;
+    ASSERT_TRUE(lookup(k, &v)) << k;
+    ASSERT_EQ(v, k * 10) << k;
+  }
+  EXPECT_EQ(count(0, ~0ull), kN);
+}
+
+TEST_P(BPTreeTest, RandomInsertLookupRemoveAgainstStdMap) {
+  std::map<uint64_t, uint64_t> model;
+  util::Rng rng(2024);
+  for (int i = 0; i < 4000; i++) {
+    const uint64_t k = rng.next_bounded(500);
+    switch (rng.next_bounded(3)) {
+      case 0: {
+        const uint64_t v = rng.next();
+        const bool fresh = insert(k, v);
+        EXPECT_EQ(fresh, model.find(k) == model.end());
+        model[k] = v;
+        break;
+      }
+      case 1: {
+        uint64_t v = 0;
+        const bool found = lookup(k, &v);
+        const auto it = model.find(k);
+        ASSERT_EQ(found, it != model.end());
+        if (found) ASSERT_EQ(v, it->second);
+        break;
+      }
+      default: {
+        const bool removed = remove(k);
+        EXPECT_EQ(removed, model.erase(k) > 0);
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(count(0, ~0ull), model.size());
+}
+
+TEST_P(BPTreeTest, RangeCountRespectsBounds) {
+  for (uint64_t k = 0; k < 100; k++) insert(k * 2, k);  // evens 0..198
+  EXPECT_EQ(count(0, 198), 100u);
+  EXPECT_EQ(count(10, 20), 6u);   // 10,12,14,16,18,20
+  EXPECT_EQ(count(11, 11), 0u);
+  EXPECT_EQ(count(150, ~0ull), 25u);  // 150..198
+}
+
+TEST_P(BPTreeTest, DescendingAndRandomOrderInserts) {
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 0; k < 800; k++) keys.push_back(k);
+  util::Rng rng(7);
+  for (size_t i = keys.size(); i-- > 1;) std::swap(keys[i], keys[rng.next_bounded(i + 1)]);
+  for (uint64_t k : keys) ASSERT_TRUE(insert(k, k));
+  EXPECT_EQ(count(0, ~0ull), 800u);
+  for (uint64_t k = 800; k-- > 0;) ASSERT_TRUE(remove(k));
+  EXPECT_EQ(count(0, ~0ull), 0u);
+}
+
+TEST_P(BPTreeTest, ConcurrentDisjointInsertsUnderDes) {
+  auto cfg = test::small_cfg(nvm::Domain::kAdr);
+  nvm::Pool pool(cfg);
+  ptm::Runtime rt(pool, GetParam());
+  uint64_t* root = &pool.root<Root>()->tree;
+  sim::RealContext setup(7, 8);
+  rt.run(setup, [&](ptm::Tx& tx) { cont::BPlusTree::create(tx, root); });
+
+  constexpr int kWorkers = 4;
+  constexpr uint64_t kPer = 400;
+  sim::Engine engine(kWorkers);
+  engine.run([&](sim::ExecContext& ctx) {
+    for (uint64_t i = 0; i < kPer; i++) {
+      const uint64_t key = i * kWorkers + static_cast<uint64_t>(ctx.worker_id());
+      rt.run(ctx, [&](ptm::Tx& tx) { cont::BPlusTree::insert(tx, root, key, key); });
+    }
+  });
+  uint64_t n = 0;
+  rt.run(setup, [&](ptm::Tx& tx) { n = cont::BPlusTree::range_count(tx, root, 0, ~0ull); });
+  EXPECT_EQ(n, kWorkers * kPer);
+  for (uint64_t k = 0; k < kWorkers * kPer; k++) {
+    bool found = false;
+    rt.run(setup, [&](ptm::Tx& tx) {
+      found = cont::BPlusTree::lookup(tx, root, k, nullptr);
+    });
+    ASSERT_TRUE(found) << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, BPTreeTest,
+                         ::testing::Values(ptm::Algo::kOrecLazy, ptm::Algo::kOrecEager),
+                         [](const ::testing::TestParamInfo<ptm::Algo>& i) {
+                           return std::string(ptm::algo_suffix(i.param));
+                         });
+
+}  // namespace

@@ -1,0 +1,237 @@
+// Crash-recovery property tests: the "linearizable durability" contract.
+//
+// A bank of accounts is updated by transfer transactions; a crash is
+// injected after a random number of persistence events (pmem stores, clwb,
+// sfence). After simulate_power_failure() + Runtime::recover(), the heap
+// must reflect exactly the committed prefix of transactions: the invariant
+// (constant total balance) must hold, and the account state must equal the
+// last committed shadow state, except that a transaction in flight at the
+// crash may appear included iff its commit record persisted.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "ptm/runtime.h"
+#include "sim/engine.h"
+#include "test_common.h"
+
+namespace {
+
+constexpr int kAccounts = 32;
+constexpr uint64_t kInitialBalance = 1000;
+
+struct BankRoot {
+  uint64_t balance[kAccounts];
+};
+
+nvm::SystemConfig crash_cfg(ptm::Algo /*algo*/, nvm::Domain domain) {
+  auto cfg = test::small_cfg(domain, nvm::Media::kOptane, /*crash_sim=*/true);
+  cfg.pool_size = 16ull << 20;
+  cfg.max_workers = 4;
+  cfg.per_worker_meta_bytes = 1ull << 17;
+  return cfg;
+}
+
+struct CrashParam {
+  ptm::Algo algo;
+  nvm::Domain domain;
+};
+
+std::string crash_param_name(const ::testing::TestParamInfo<CrashParam>& info) {
+  std::string s = ptm::algo_suffix(info.param.algo);
+  s += "_";
+  s += nvm::domain_name(info.param.domain);
+  for (auto& ch : s) {
+    if (ch == '-') ch = '_';
+  }
+  return s;
+}
+
+class CrashTest : public ::testing::TestWithParam<CrashParam> {};
+
+void expect_total_balance(ptm::Runtime& rt, sim::ExecContext& ctx, BankRoot* root) {
+  uint64_t total = 0;
+  rt.run(ctx, [&](ptm::Tx& tx) {
+    total = 0;
+    for (int i = 0; i < kAccounts; i++) total += tx.read(&root->balance[i]);
+  });
+  EXPECT_EQ(total, kAccounts * kInitialBalance);
+}
+
+TEST_P(CrashTest, RecoversToCommittedPrefix_SingleThread) {
+  for (uint64_t trial = 0; trial < 30; trial++) {
+    auto cfg = crash_cfg(GetParam().algo, GetParam().domain);
+    nvm::Pool pool(cfg);
+    ptm::Runtime rt(pool, GetParam().algo);
+    sim::RealContext ctx(0, 4);
+    auto* root = pool.root<BankRoot>();
+
+    // Populate, then checkpoint so the crash window covers only transfers.
+    rt.run(ctx, [&](ptm::Tx& tx) {
+      for (int i = 0; i < kAccounts; i++) tx.write(&root->balance[i], kInitialBalance);
+    });
+    pool.mem().checkpoint_all_persistent();
+
+    util::Rng rng(1000 + trial);
+    std::array<uint64_t, kAccounts> shadow;
+    shadow.fill(kInitialBalance);
+
+    // Crash after a random number of persistence events.
+    pool.mem().arm_crash_after(1 + rng.next_bounded(600), 777 + trial);
+
+    uint64_t from = 0, to = 0, amt = 0;
+    bool crashed = false;
+    try {
+      for (int t = 0; t < 200; t++) {
+        from = rng.next_bounded(kAccounts);
+        to = (from + 1 + rng.next_bounded(kAccounts - 1)) % kAccounts;
+        amt = rng.next_bounded(50);
+        rt.run(ctx, [&](ptm::Tx& tx) {
+          const uint64_t f = tx.read(&root->balance[from]);
+          const uint64_t s = tx.read(&root->balance[to]);
+          const uint64_t take = amt > f ? f : amt;
+          tx.write(&root->balance[from], f - take);
+          tx.write(&root->balance[to], s + take);
+        });
+        // Committed: update the shadow.
+        const uint64_t take = amt > shadow[from] ? shadow[from] : amt;
+        shadow[from] -= take;
+        shadow[to] += take;
+      }
+    } catch (const nvm::CrashPoint&) {
+      crashed = true;
+    }
+    ASSERT_TRUE(crashed) << "crash must fire within 200 transfers";
+
+    util::Rng crash_rng(99);
+    pool.simulate_power_failure(crash_rng);
+    rt.recover(ctx);
+
+    // Invariant: money is conserved regardless of where the crash hit.
+    expect_total_balance(rt, ctx, root);
+
+    // State equals the committed shadow, or the shadow plus the in-flight
+    // transfer (iff its commit record persisted first).
+    std::array<uint64_t, kAccounts> got;
+    rt.run(ctx, [&](ptm::Tx& tx) {
+      for (int i = 0; i < kAccounts; i++) got[i] = tx.read(&root->balance[i]);
+    });
+    auto with_inflight = shadow;
+    const uint64_t take = amt > with_inflight[from] ? with_inflight[from] : amt;
+    with_inflight[from] -= take;
+    with_inflight[to] += take;
+    EXPECT_TRUE(got == shadow || got == with_inflight)
+        << "trial " << trial << ": recovered state matches neither the "
+        << "committed prefix nor prefix+in-flight";
+
+    // The pool must be fully usable after recovery.
+    rt.run(ctx, [&](ptm::Tx& tx) {
+      const uint64_t v = tx.read(&root->balance[0]);
+      tx.write(&root->balance[0], v);
+    });
+  }
+}
+
+TEST_P(CrashTest, RecoversUnderConcurrentWorkers) {
+  for (uint64_t trial = 0; trial < 10; trial++) {
+    auto cfg = crash_cfg(GetParam().algo, GetParam().domain);
+    nvm::Pool pool(cfg);
+    ptm::Runtime rt(pool, GetParam().algo);
+    sim::RealContext setup_ctx(3, 4);
+    auto* root = pool.root<BankRoot>();
+
+    rt.run(setup_ctx, [&](ptm::Tx& tx) {
+      for (int i = 0; i < kAccounts; i++) tx.write(&root->balance[i], kInitialBalance);
+    });
+    pool.mem().checkpoint_all_persistent();
+
+    util::Rng seed_rng(5000 + trial);
+    pool.mem().arm_crash_after(50 + seed_rng.next_bounded(3000), 31 * trial + 7);
+
+    sim::Engine engine(3);
+    bool crashed = false;
+    try {
+      engine.run([&](sim::ExecContext& ctx) {
+        util::Rng rng(trial * 97 + static_cast<uint64_t>(ctx.worker_id()));
+        for (int t = 0; t < 300; t++) {
+          const uint64_t from = rng.next_bounded(kAccounts);
+          const uint64_t to = (from + 1 + rng.next_bounded(kAccounts - 1)) % kAccounts;
+          const uint64_t amt = rng.next_bounded(50);
+          rt.run(ctx, [&](ptm::Tx& tx) {
+            const uint64_t f = tx.read(&root->balance[from]);
+            const uint64_t s = tx.read(&root->balance[to]);
+            const uint64_t take = amt > f ? f : amt;
+            tx.write(&root->balance[from], f - take);
+            tx.write(&root->balance[to], s + take);
+          });
+        }
+      });
+    } catch (const nvm::CrashPoint&) {
+      crashed = true;
+    }
+    ASSERT_TRUE(crashed);
+
+    util::Rng crash_rng(13);
+    pool.simulate_power_failure(crash_rng);
+    sim::RealContext rec_ctx(0, 4);
+    rt.recover(rec_ctx);
+    expect_total_balance(rt, rec_ctx, root);
+  }
+}
+
+TEST_P(CrashTest, CrashDuringRecoveryIsSafe) {
+  // Recovery itself is idempotent: crash in the middle of recover(), then
+  // recover again — the invariant must still hold.
+  auto cfg = crash_cfg(GetParam().algo, GetParam().domain);
+  nvm::Pool pool(cfg);
+  ptm::Runtime rt(pool, GetParam().algo);
+  sim::RealContext ctx(0, 4);
+  auto* root = pool.root<BankRoot>();
+  rt.run(ctx, [&](ptm::Tx& tx) {
+    for (int i = 0; i < kAccounts; i++) tx.write(&root->balance[i], kInitialBalance);
+  });
+  pool.mem().checkpoint_all_persistent();
+
+  util::Rng rng(4242);
+  pool.mem().arm_crash_after(120, 9);
+  bool crashed = false;
+  try {
+    for (int t = 0; t < 100; t++) {
+      const uint64_t a = rng.next_bounded(kAccounts);
+      const uint64_t b = (a + 1 + rng.next_bounded(kAccounts - 1)) % kAccounts;
+      rt.run(ctx, [&](ptm::Tx& tx) {
+        const uint64_t f = tx.read(&root->balance[a]);
+        const uint64_t s = tx.read(&root->balance[b]);
+        const uint64_t take = f > 10 ? 10 : f;
+        tx.write(&root->balance[a], f - take);
+        tx.write(&root->balance[b], s + take);
+      });
+    }
+  } catch (const nvm::CrashPoint&) {
+    crashed = true;
+  }
+  ASSERT_TRUE(crashed);
+  pool.simulate_power_failure(rng);
+
+  // First recovery attempt dies partway through.
+  pool.mem().arm_crash_after(3, 10);
+  try {
+    rt.recover(ctx);
+  } catch (const nvm::CrashPoint&) {
+  }
+  pool.simulate_power_failure(rng);
+
+  // Second attempt completes.
+  rt.recover(ctx);
+  expect_total_balance(rt, ctx, root);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgoDomain, CrashTest,
+    ::testing::Values(CrashParam{ptm::Algo::kOrecLazy, nvm::Domain::kAdr},
+                      CrashParam{ptm::Algo::kOrecLazy, nvm::Domain::kEadr},
+                      CrashParam{ptm::Algo::kOrecEager, nvm::Domain::kAdr},
+                      CrashParam{ptm::Algo::kOrecEager, nvm::Domain::kEadr}),
+    crash_param_name);
+
+}  // namespace

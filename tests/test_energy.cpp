@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "nvm/energy.h"
+#include "nvm/pool.h"
+#include "sim/engine.h"
+#include "test_common.h"
+
+namespace {
+
+TEST(EnergyModel, ReserveLadderMatchesPaperArgument) {
+  // Paper §IV.B: ADR exists today (PSU hold-up), eADR needs ~1s of
+  // capacitors, PDRAM needs >10s (lithium-ion battery).
+  nvm::EnergyModel em;
+  nvm::SystemConfig cfg;
+  cfg.l3_bytes = 32ull << 20;
+  cfg.dram_cache_bytes = 96ull << 30;
+  cfg.max_workers = 32;
+
+  cfg.domain = nvm::Domain::kAdr;
+  const double adr = em.reserve_energy_j(cfg);
+  cfg.domain = nvm::Domain::kEadr;
+  const double eadr = em.reserve_energy_j(cfg);
+  cfg.domain = nvm::Domain::kPdramLite;
+  const double lite = em.reserve_energy_j(cfg);
+  cfg.domain = nvm::Domain::kPdram;
+  const double pdram = em.reserve_energy_j(cfg);
+
+  EXPECT_LT(adr, eadr);
+  EXPECT_LE(eadr, lite);
+  EXPECT_LT(lite, pdram);
+  // Orders of magnitude: PDRAM needs a battery, ADR does not.
+  EXPECT_GT(pdram / adr, 1000.0);
+  EXPECT_STREQ(nvm::EnergyModel::reserve_technology(adr), "PSU hold-up (stock ADR)");
+  EXPECT_STREQ(nvm::EnergyModel::reserve_technology(pdram), "lithium-ion battery");
+}
+
+TEST(EnergyModel, DrainTimeScalesWithDomainFootprint) {
+  nvm::EnergyModel em;
+  nvm::SystemConfig cfg;
+  cfg.l3_bytes = 32ull << 20;
+  cfg.dram_cache_bytes = 96ull << 30;
+
+  cfg.domain = nvm::Domain::kAdr;
+  EXPECT_LT(em.drain_seconds(cfg), 1e-4);  // WPQ: microseconds
+  cfg.domain = nvm::Domain::kEadr;
+  const double eadr = em.drain_seconds(cfg);
+  EXPECT_GT(eadr, 1e-3);
+  EXPECT_LT(eadr, 1.0);
+  cfg.domain = nvm::Domain::kPdram;
+  EXPECT_GT(em.drain_seconds(cfg), 10.0);  // paper: ">10s of reserve"
+}
+
+TEST(EnergyAccounting, AdrCostsMoreDynamicEnergyThanEadr) {
+  // ADR's per-clwb write-through vs eADR's coalesced evictions: run the
+  // same transactional work and compare accumulated energy.
+  auto run = [](nvm::Domain domain) {
+    auto cfg = test::small_cfg(domain, nvm::Media::kOptane);
+    nvm::Pool pool(cfg);
+    ptm::Runtime rt(pool, ptm::Algo::kOrecLazy);
+    struct R {
+      uint64_t cells[64];
+    };
+    auto* root = pool.root<R>();
+    sim::Engine engine(1);
+    engine.run([&](sim::ExecContext& ctx) {
+      for (int i = 0; i < 500; i++) {
+        rt.run(ctx, [&](ptm::Tx& tx) {
+          for (int w = 0; w < 4; w++) {
+            tx.write(&root->cells[(i + w * 16) % 64], static_cast<uint64_t>(i));
+          }
+        });
+      }
+    });
+    return stats::aggregate(rt.snapshot_counters()).energy_pj;
+  };
+  const double adr = run(nvm::Domain::kAdr);
+  const double eadr = run(nvm::Domain::kEadr);
+  EXPECT_GT(adr, eadr * 1.5);
+}
+
+TEST(EnergyAccounting, OptaneTrafficCostsMoreThanDram) {
+  auto run = [](nvm::Media media) {
+    auto cfg = test::small_cfg(nvm::Domain::kEadr, media);
+    cfg.l3_bytes = 16 << 10;  // force misses
+    nvm::Pool pool(cfg);
+    stats::TxCounters c;
+    sim::Engine engine(1);
+    engine.run([&](sim::ExecContext& ctx) {
+      for (int i = 0; i < 2000; i++) {
+        auto* w = reinterpret_cast<uint64_t*>(pool.heap_base() + (i * 64) % (8 << 20));
+        pool.mem().load_word(ctx, &c, w, nvm::Space::kData);
+      }
+    });
+    return c.energy_pj;
+  };
+  EXPECT_GT(run(nvm::Media::kOptane), 3.0 * run(nvm::Media::kDram));
+}
+
+TEST(BandwidthSaturation, MoreWritersRaiseFenceLatency) {
+  // The WPQ/bandwidth property behind the paper's scalability findings:
+  // per-transaction fence-drain time grows once concurrent writers exceed
+  // the Optane write channel's capacity.
+  auto fence_wait_per_commit = [](int workers) {
+    auto cfg = test::small_cfg(nvm::Domain::kAdr, nvm::Media::kOptane);
+    cfg.max_workers = 33;
+    nvm::Pool pool(cfg);
+    ptm::Runtime rt(pool, ptm::Algo::kOrecLazy);
+    struct R {
+      uint64_t cells[512];
+    };
+    static_assert(sizeof(R) <= nvm::Pool::kRootBytes);
+    auto* root = pool.root<R>();
+    sim::Engine engine(workers);
+    engine.run([&](sim::ExecContext& ctx) {
+      util::Rng rng(static_cast<uint64_t>(ctx.worker_id()) + 5);
+      for (int i = 0; i < 150; i++) {
+        rt.run(ctx, [&](ptm::Tx& tx) {
+          for (int w = 0; w < 8; w++) {
+            const uint64_t idx =
+                (static_cast<uint64_t>(ctx.worker_id()) * 16 + rng.next_bounded(16));
+            tx.write(&root->cells[idx], rng.next());
+          }
+        });
+      }
+    });
+    const auto t = stats::aggregate(rt.snapshot_counters());
+    return static_cast<double>(t.fence_wait_ns) / static_cast<double>(t.commits);
+  };
+  const double w2 = fence_wait_per_commit(2);
+  const double w16 = fence_wait_per_commit(16);
+  EXPECT_GT(w16, 2.0 * w2);
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+// Engine edge cases: exception propagation out of fibers, fairness of the
+// min-clock schedule, run_until fast-path correctness, heavy reuse.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace {
+
+TEST(EngineStress, WorkerExceptionIsRethrownAfterAllFinish) {
+  sim::Engine e(4);
+  std::vector<int> finished(4, 0);
+  EXPECT_THROW(
+      e.run([&](sim::ExecContext& ctx) {
+        ctx.advance(10);
+        if (ctx.worker_id() == 2) throw std::runtime_error("boom");
+        ctx.advance(10);
+        finished[static_cast<size_t>(ctx.worker_id())] = 1;
+      }),
+      std::runtime_error);
+  // The other three workers ran to completion despite worker 2's failure.
+  EXPECT_EQ(finished[0] + finished[1] + finished[3], 3);
+}
+
+TEST(EngineStress, FirstOfMultipleExceptionsWins) {
+  sim::Engine e(3);
+  try {
+    e.run([&](sim::ExecContext& ctx) {
+      // Worker 0 has the smallest clock when it throws, so its exception
+      // fires first deterministically.
+      ctx.advance(static_cast<uint64_t>(ctx.worker_id() + 1));
+      throw std::runtime_error(std::to_string(ctx.worker_id()));
+    });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& ex) {
+    EXPECT_STREQ(ex.what(), "0");
+  }
+}
+
+TEST(EngineStress, EngineUsableAfterException) {
+  sim::Engine e(2);
+  EXPECT_THROW(e.run([&](sim::ExecContext&) { throw 42; }), int);
+  int ran = 0;
+  e.run([&](sim::ExecContext& ctx) {
+    ctx.advance(5);
+    ran++;
+  });
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(e.elapsed_ns(), 5u);
+}
+
+TEST(EngineStress, ScheduleIsFairUnderEqualCosts) {
+  // With identical per-step costs, every worker must make equal progress
+  // at every prefix of the schedule (round-robin through tie-breaking).
+  sim::Engine e(8);
+  std::vector<int> steps(8, 0);
+  std::vector<int> order;
+  e.run([&](sim::ExecContext& ctx) {
+    for (int i = 0; i < 100; i++) {
+      order.push_back(ctx.worker_id());
+      steps[static_cast<size_t>(ctx.worker_id())]++;
+      ctx.advance(10);
+    }
+  });
+  for (int s : steps) EXPECT_EQ(s, 100);
+  // In any window of 8 consecutive events, max progress spread is 1 step.
+  std::vector<int> seen(8, 0);
+  for (size_t i = 0; i < order.size(); i++) {
+    seen[static_cast<size_t>(order[i])]++;
+    const auto [mn, mx] = std::minmax_element(seen.begin(), seen.end());
+    EXPECT_LE(*mx - *mn, 1) << "at event " << i;
+  }
+}
+
+TEST(EngineStress, RunUntilFastPathMatchesSlowSchedule) {
+  // A worker with many tiny advances between larger ones must produce the
+  // same final clocks as the pure event-by-event schedule would: total
+  // time is just the sum of its advances, and elapsed is the max.
+  sim::Engine e(3);
+  e.run([&](sim::ExecContext& ctx) {
+    for (int i = 0; i < 1000; i++) {
+      ctx.advance(ctx.worker_id() == 0 ? 1 : 3);
+    }
+  });
+  EXPECT_EQ(e.elapsed_ns(), 3000u);
+}
+
+TEST(EngineStress, LargeWorkerCount) {
+  sim::Engine e(64);
+  std::atomic<int> done{0};
+  e.run([&](sim::ExecContext& ctx) {
+    for (int i = 0; i < 20; i++) ctx.advance(1 + static_cast<uint64_t>(ctx.worker_id() % 5));
+    done.fetch_add(1);
+  });
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(EngineStress, DeepStackUsageInFiber) {
+  // Fibers get 512KB stacks; make sure a realistic recursion depth works.
+  sim::Engine e(2);
+  std::function<uint64_t(uint64_t, sim::ExecContext&)> rec =
+      [&](uint64_t n, sim::ExecContext& ctx) -> uint64_t {
+    char pad[512];
+    pad[0] = static_cast<char>(n);
+    if (n == 0) return static_cast<uint64_t>(pad[0]);
+    ctx.advance(1);
+    return rec(n - 1, ctx) + 1;
+  };
+  e.run([&](sim::ExecContext& ctx) { EXPECT_EQ(rec(400, ctx), 400u); });
+}
+
+}  // namespace

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "containers/hashmap.h"
+#include "ptm/runtime.h"
+#include "sim/engine.h"
+#include "test_common.h"
+
+namespace {
+
+struct Root {
+  cont::HashMap::Handle map;
+};
+
+class HashMapTest : public ::testing::TestWithParam<ptm::Algo> {
+ protected:
+  HashMapTest() : fx_(test::small_cfg(nvm::Domain::kEadr), GetParam()) {
+    h_ = &fx_.pool.root<Root>()->map;
+    fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) { cont::HashMap::create(tx, h_, 64); });
+  }
+
+  bool insert(uint64_t k, uint64_t v) {
+    bool r = false;
+    fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) { r = cont::HashMap::insert(tx, h_, k, v); });
+    return r;
+  }
+  bool lookup(uint64_t k, uint64_t* out = nullptr) {
+    bool r = false;
+    fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) { r = cont::HashMap::lookup(tx, h_, k, out); });
+    return r;
+  }
+  bool update(uint64_t k, uint64_t v) {
+    bool r = false;
+    fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) { r = cont::HashMap::update(tx, h_, k, v); });
+    return r;
+  }
+  bool remove(uint64_t k) {
+    bool r = false;
+    fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) { r = cont::HashMap::remove(tx, h_, k); });
+    return r;
+  }
+  uint64_t size() {
+    uint64_t n = 0;
+    fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) { n = cont::HashMap::size(tx, h_); });
+    return n;
+  }
+
+  test::Fixture fx_;
+  cont::HashMap::Handle* h_;
+};
+
+TEST_P(HashMapTest, BucketCountRoundsToPow2) {
+  EXPECT_EQ(h_->nbuckets, 64u);
+  cont::HashMap::Handle* extra = nullptr;
+  fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) {
+    extra = static_cast<cont::HashMap::Handle*>(tx.alloc(sizeof(cont::HashMap::Handle)));
+    cont::HashMap::create(tx, extra, 100);
+  });
+  EXPECT_EQ(extra->nbuckets, 128u);
+}
+
+TEST_P(HashMapTest, InsertLookupRemove) {
+  EXPECT_TRUE(insert(1, 10));
+  EXPECT_FALSE(insert(1, 20));  // overwrite
+  uint64_t v = 0;
+  EXPECT_TRUE(lookup(1, &v));
+  EXPECT_EQ(v, 20u);
+  EXPECT_TRUE(remove(1));
+  EXPECT_FALSE(remove(1));
+  EXPECT_FALSE(lookup(1, &v));
+}
+
+TEST_P(HashMapTest, UpdateOnlyTouchesExisting) {
+  EXPECT_FALSE(update(5, 1));
+  insert(5, 1);
+  EXPECT_TRUE(update(5, 2));
+  uint64_t v = 0;
+  lookup(5, &v);
+  EXPECT_EQ(v, 2u);
+}
+
+TEST_P(HashMapTest, ChainsHandleCollisions) {
+  // 64 buckets, 512 keys: every bucket chains.
+  for (uint64_t k = 0; k < 512; k++) ASSERT_TRUE(insert(k, k + 1));
+  EXPECT_EQ(size(), 512u);
+  for (uint64_t k = 0; k < 512; k++) {
+    uint64_t v = 0;
+    ASSERT_TRUE(lookup(k, &v));
+    ASSERT_EQ(v, k + 1);
+  }
+  // Remove middle-of-chain keys.
+  for (uint64_t k = 0; k < 512; k += 3) ASSERT_TRUE(remove(k));
+  for (uint64_t k = 0; k < 512; k++) {
+    EXPECT_EQ(lookup(k), k % 3 != 0) << k;
+  }
+}
+
+TEST_P(HashMapTest, RemovedNodesAreRecycled) {
+  insert(1, 1);
+  insert(2, 2);
+  const uint64_t hw_after_inserts = fx_.rt.allocator().high_water_bytes();
+  for (int round = 0; round < 50; round++) {
+    ASSERT_TRUE(remove(1));
+    ASSERT_TRUE(insert(1, static_cast<uint64_t>(round)));
+  }
+  // Node churn must recycle via free lists, not grow the heap.
+  EXPECT_EQ(fx_.rt.allocator().high_water_bytes(), hw_after_inserts);
+}
+
+TEST_P(HashMapTest, AgainstStdMapRandomized) {
+  std::map<uint64_t, uint64_t> model;
+  util::Rng rng(99);
+  for (int i = 0; i < 3000; i++) {
+    const uint64_t k = rng.next_bounded(300);
+    switch (rng.next_bounded(4)) {
+      case 0: {
+        const uint64_t v = rng.next();
+        EXPECT_EQ(insert(k, v), model.find(k) == model.end());
+        model[k] = v;
+        break;
+      }
+      case 1: {
+        uint64_t v = 0;
+        const bool found = lookup(k, &v);
+        ASSERT_EQ(found, model.count(k) > 0);
+        if (found) ASSERT_EQ(v, model[k]);
+        break;
+      }
+      case 2: {
+        const uint64_t v = rng.next();
+        const bool present = model.count(k) > 0;
+        EXPECT_EQ(update(k, v), present);
+        if (present) model[k] = v;
+        break;
+      }
+      default:
+        EXPECT_EQ(remove(k), model.erase(k) > 0);
+        break;
+    }
+  }
+  EXPECT_EQ(size(), model.size());
+}
+
+TEST_P(HashMapTest, ConcurrentMixedOpsKeepSizeConsistent) {
+  auto cfg = test::small_cfg(nvm::Domain::kAdr);
+  nvm::Pool pool(cfg);
+  ptm::Runtime rt(pool, GetParam());
+  auto* h = &pool.root<Root>()->map;
+  sim::RealContext setup(7, 8);
+  rt.run(setup, [&](ptm::Tx& tx) { cont::HashMap::create(tx, h, 128); });
+
+  // Each worker owns a key stripe; inserts then removes half.
+  constexpr int kWorkers = 4;
+  sim::Engine engine(kWorkers);
+  engine.run([&](sim::ExecContext& ctx) {
+    const auto w = static_cast<uint64_t>(ctx.worker_id());
+    for (uint64_t i = 0; i < 200; i++) {
+      rt.run(ctx, [&](ptm::Tx& tx) { cont::HashMap::insert(tx, h, w * 1000 + i, i); });
+    }
+    for (uint64_t i = 0; i < 200; i += 2) {
+      rt.run(ctx, [&](ptm::Tx& tx) { cont::HashMap::remove(tx, h, w * 1000 + i); });
+    }
+  });
+  uint64_t n = 0;
+  rt.run(setup, [&](ptm::Tx& tx) { n = cont::HashMap::size(tx, h); });
+  EXPECT_EQ(n, kWorkers * 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, HashMapTest,
+                         ::testing::Values(ptm::Algo::kOrecLazy, ptm::Algo::kOrecEager),
+                         [](const ::testing::TestParamInfo<ptm::Algo>& i) {
+                           return std::string(ptm::algo_suffix(i.param));
+                         });
+
+}  // namespace

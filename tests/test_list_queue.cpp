@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+
+#include "containers/list.h"
+#include "containers/queue.h"
+#include "ptm/runtime.h"
+#include "sim/engine.h"
+#include "test_common.h"
+
+namespace {
+
+struct Root {
+  uint64_t list_head;
+  cont::Queue::Handle queue;
+};
+
+class ListTest : public ::testing::TestWithParam<ptm::Algo> {
+ protected:
+  ListTest() : fx_(test::small_cfg(nvm::Domain::kEadr), GetParam()) {
+    head_ = &fx_.pool.root<Root>()->list_head;
+    fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) { cont::SortedList::create(tx, head_); });
+  }
+  test::Fixture fx_;
+  uint64_t* head_;
+};
+
+TEST_P(ListTest, InsertKeepsSortedOrder) {
+  for (uint64_t k : {5ull, 1ull, 9ull, 3ull, 7ull}) {
+    fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) { cont::SortedList::insert(tx, head_, k, k); });
+  }
+  fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) {
+    EXPECT_TRUE(cont::SortedList::is_sorted(tx, head_));
+    EXPECT_EQ(cont::SortedList::size(tx, head_), 5u);
+  });
+}
+
+TEST_P(ListTest, LookupAndRemoveEdges) {
+  for (uint64_t k : {10ull, 20ull, 30ull}) {
+    fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) { cont::SortedList::insert(tx, head_, k, k * 2); });
+  }
+  fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) {
+    uint64_t v = 0;
+    EXPECT_TRUE(cont::SortedList::lookup(tx, head_, 20, &v));
+    EXPECT_EQ(v, 40u);
+    EXPECT_FALSE(cont::SortedList::lookup(tx, head_, 15, &v));
+    EXPECT_TRUE(cont::SortedList::remove(tx, head_, 10));  // head removal
+    EXPECT_TRUE(cont::SortedList::remove(tx, head_, 30));  // tail removal
+    EXPECT_FALSE(cont::SortedList::remove(tx, head_, 99));
+    EXPECT_EQ(cont::SortedList::size(tx, head_), 1u);
+    EXPECT_TRUE(cont::SortedList::is_sorted(tx, head_));
+  });
+}
+
+TEST_P(ListTest, RandomizedAgainstStdMap) {
+  std::map<uint64_t, uint64_t> model;
+  util::Rng rng(31337);
+  for (int i = 0; i < 2000; i++) {
+    const uint64_t k = rng.next_bounded(100);
+    switch (rng.next_bounded(3)) {
+      case 0: {
+        const uint64_t v = rng.next();
+        bool fresh = false;
+        fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) {
+          fresh = cont::SortedList::insert(tx, head_, k, v);
+        });
+        EXPECT_EQ(fresh, model.find(k) == model.end());
+        model[k] = v;
+        break;
+      }
+      case 1: {
+        uint64_t v = 0;
+        bool found = false;
+        fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) {
+          found = cont::SortedList::lookup(tx, head_, k, &v);
+        });
+        ASSERT_EQ(found, model.count(k) > 0);
+        if (found) ASSERT_EQ(v, model[k]);
+        break;
+      }
+      default: {
+        bool removed = false;
+        fx_.rt.run(fx_.ctx,
+                   [&](ptm::Tx& tx) { removed = cont::SortedList::remove(tx, head_, k); });
+        EXPECT_EQ(removed, model.erase(k) > 0);
+        break;
+      }
+    }
+  }
+  fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) {
+    EXPECT_EQ(cont::SortedList::size(tx, head_), model.size());
+    EXPECT_TRUE(cont::SortedList::is_sorted(tx, head_));
+  });
+}
+
+TEST_P(ListTest, ConcurrentInsertsUnderDes) {
+  auto cfg = test::small_cfg(nvm::Domain::kAdr);
+  nvm::Pool pool(cfg);
+  ptm::Runtime rt(pool, GetParam());
+  auto* head = &pool.root<Root>()->list_head;
+  sim::RealContext setup(7, 8);
+  rt.run(setup, [&](ptm::Tx& tx) { cont::SortedList::create(tx, head); });
+
+  sim::Engine engine(4);
+  engine.run([&](sim::ExecContext& ctx) {
+    for (uint64_t i = 0; i < 50; i++) {
+      const uint64_t k = i * 4 + static_cast<uint64_t>(ctx.worker_id());
+      rt.run(ctx, [&](ptm::Tx& tx) { cont::SortedList::insert(tx, head, k, k); });
+    }
+  });
+  rt.run(setup, [&](ptm::Tx& tx) {
+    EXPECT_EQ(cont::SortedList::size(tx, head), 200u);
+    EXPECT_TRUE(cont::SortedList::is_sorted(tx, head));
+  });
+}
+
+class QueueTest : public ::testing::TestWithParam<ptm::Algo> {
+ protected:
+  QueueTest() : fx_(test::small_cfg(nvm::Domain::kEadr), GetParam()) {
+    q_ = &fx_.pool.root<Root>()->queue;
+    fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) { cont::Queue::create(tx, q_); });
+  }
+  test::Fixture fx_;
+  cont::Queue::Handle* q_;
+};
+
+TEST_P(QueueTest, FifoOrder) {
+  fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) {
+    for (uint64_t i = 1; i <= 5; i++) cont::Queue::enqueue(tx, q_, i * 11);
+  });
+  fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) {
+    for (uint64_t i = 1; i <= 5; i++) {
+      uint64_t v = 0;
+      ASSERT_TRUE(cont::Queue::dequeue(tx, q_, &v));
+      ASSERT_EQ(v, i * 11);
+    }
+    uint64_t v;
+    EXPECT_FALSE(cont::Queue::dequeue(tx, q_, &v));
+  });
+}
+
+TEST_P(QueueTest, EmptyToNonEmptyTransitions) {
+  for (int round = 0; round < 20; round++) {
+    fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) {
+      cont::Queue::enqueue(tx, q_, static_cast<uint64_t>(round));
+    });
+    uint64_t v = 0;
+    fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) { ASSERT_TRUE(cont::Queue::dequeue(tx, q_, &v)); });
+    EXPECT_EQ(v, static_cast<uint64_t>(round));
+    fx_.rt.run(fx_.ctx,
+               [&](ptm::Tx& tx) { EXPECT_EQ(cont::Queue::size(tx, q_), 0u); });
+  }
+}
+
+TEST_P(QueueTest, RandomizedAgainstStdDeque) {
+  std::deque<uint64_t> model;
+  util::Rng rng(55);
+  for (int i = 0; i < 3000; i++) {
+    if (rng.chance_pct(55)) {
+      const uint64_t v = rng.next();
+      fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) { cont::Queue::enqueue(tx, q_, v); });
+      model.push_back(v);
+    } else {
+      uint64_t v = 0;
+      bool got = false;
+      fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) { got = cont::Queue::dequeue(tx, q_, &v); });
+      ASSERT_EQ(got, !model.empty());
+      if (got) {
+        ASSERT_EQ(v, model.front());
+        model.pop_front();
+      }
+    }
+  }
+  fx_.rt.run(fx_.ctx,
+             [&](ptm::Tx& tx) { EXPECT_EQ(cont::Queue::size(tx, q_), model.size()); });
+}
+
+TEST_P(QueueTest, ProducersAndConsumersUnderDes) {
+  auto cfg = test::small_cfg(nvm::Domain::kAdr);
+  nvm::Pool pool(cfg);
+  ptm::Runtime rt(pool, GetParam());
+  auto* q = &pool.root<Root>()->queue;
+  sim::RealContext setup(7, 8);
+  rt.run(setup, [&](ptm::Tx& tx) { cont::Queue::create(tx, q); });
+
+  constexpr uint64_t kPerWorker = 100;
+  std::atomic<uint64_t> consumed{0};
+  sim::Engine engine(4);
+  engine.run([&](sim::ExecContext& ctx) {
+    if (ctx.worker_id() % 2 == 0) {
+      for (uint64_t i = 0; i < kPerWorker; i++) {
+        rt.run(ctx, [&](ptm::Tx& tx) { cont::Queue::enqueue(tx, q, i); });
+      }
+    } else {
+      // Consumers share a target so neither can starve if the other drains
+      // more than its share.
+      while (consumed.load() < 2 * kPerWorker) {
+        uint64_t v;
+        bool ok = false;
+        rt.run(ctx, [&](ptm::Tx& tx) { ok = cont::Queue::dequeue(tx, q, &v); });
+        if (ok) {
+          consumed.fetch_add(1);
+        } else {
+          ctx.advance(500);  // empty: poll later in simulated time
+        }
+      }
+    }
+  });
+  EXPECT_EQ(consumed.load(), 2 * kPerWorker);
+  rt.run(setup, [&](ptm::Tx& tx) { EXPECT_EQ(cont::Queue::size(tx, q), 0u); });
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, ListTest,
+                         ::testing::Values(ptm::Algo::kOrecLazy, ptm::Algo::kOrecEager),
+                         [](const ::testing::TestParamInfo<ptm::Algo>& i) {
+                           return std::string(ptm::algo_suffix(i.param));
+                         });
+INSTANTIATE_TEST_SUITE_P(Algos, QueueTest,
+                         ::testing::Values(ptm::Algo::kOrecLazy, ptm::Algo::kOrecEager),
+                         [](const ::testing::TestParamInfo<ptm::Algo>& i) {
+                           return std::string(ptm::algo_suffix(i.param));
+                         });
+
+}  // namespace

@@ -1,0 +1,372 @@
+#include <gtest/gtest.h>
+
+#include "nvm/cache_model.h"
+#include "nvm/channel.h"
+#include "nvm/dram_cache.h"
+#include "nvm/pool.h"
+#include "nvm/wpq.h"
+#include "sim/engine.h"
+#include "test_common.h"
+
+// ---------------------------------------------------------------- channel
+
+TEST(Channel, NoWaitWhenIdle) {
+  nvm::BandwidthChannel ch;
+  auto g = ch.request(1000, 20);
+  EXPECT_EQ(g.wait_ns, 0u);
+  EXPECT_EQ(g.done_ns, 1020u);
+}
+
+TEST(Channel, BackToBackRequestsQueue) {
+  nvm::BandwidthChannel ch;
+  ch.request(0, 20);
+  auto g = ch.request(0, 20);
+  EXPECT_EQ(g.wait_ns, 20u);
+  EXPECT_EQ(g.done_ns, 40u);
+  EXPECT_EQ(ch.backlog_ns(0), 40u);
+}
+
+TEST(Channel, IdleGapDrainsBacklog) {
+  nvm::BandwidthChannel ch;
+  ch.request(0, 20);
+  auto g = ch.request(100, 20);
+  EXPECT_EQ(g.wait_ns, 0u);
+  EXPECT_EQ(ch.backlog_ns(100), 20u);
+}
+
+// ---------------------------------------------------------------- wpq
+
+TEST(Wpq, SfenceWaitsForWorkerDrain) {
+  nvm::BandwidthChannel ch;
+  nvm::Wpq wpq(64, 4);
+  const uint64_t done = wpq.enqueue(1, 0, ch, 27.0, 94.0);
+  EXPECT_EQ(done, 94u);  // latency floor dominates when idle
+  EXPECT_EQ(wpq.worker_drain_ns(1), 94u);
+  EXPECT_EQ(wpq.worker_drain_ns(0), 0u);
+}
+
+TEST(Wpq, FullQueueForcesStall) {
+  nvm::BandwidthChannel ch;
+  nvm::Wpq wpq(4, 1);
+  for (int i = 0; i < 4; i++) wpq.enqueue(0, 0, ch, 27.0, 94.0);
+  // All 4 in flight at t=0: the oldest completes at 94.
+  EXPECT_GE(wpq.stall_until_ns(0), 94u);
+  // Once the oldest drains, a slot is free.
+  EXPECT_EQ(wpq.stall_until_ns(200), 200u);
+}
+
+TEST(Wpq, ThroughputBoundedByServiceTime) {
+  nvm::BandwidthChannel ch;
+  nvm::Wpq wpq(64, 1);
+  uint64_t last = 0;
+  for (int i = 0; i < 100; i++) last = wpq.enqueue(0, 0, ch, 27.0, 94.0);
+  // 100 lines at 27 ns service each: completion ~ 100*27.
+  EXPECT_GE(last, 2700u);
+  EXPECT_LE(last, 2800u);
+}
+
+// ---------------------------------------------------------------- caches
+
+TEST(CacheModel, HitAfterInstall) {
+  nvm::CacheModel l3(64 * 1024, 16);
+  EXPECT_FALSE(l3.access(5, false).hit);
+  EXPECT_TRUE(l3.access(5, false).hit);
+}
+
+TEST(CacheModel, LruEvictionWithinSet) {
+  nvm::CacheModel l3(4 * 64, 4);  // one set of 4 ways
+  ASSERT_EQ(l3.num_sets(), 1u);
+  for (uint64_t i = 0; i < 4; i++) l3.access(i, false);
+  l3.access(0, false);            // refresh 0; LRU is now 1
+  auto r = l3.access(100, true);  // install: evicts 1 (clean -> no wb)
+  EXPECT_FALSE(r.hit);
+  EXPECT_EQ(r.evicted_dirty_line, nvm::CacheModel::kNoLine);
+  EXPECT_TRUE(l3.access(0, false).hit);
+  EXPECT_FALSE(l3.access(1, false).hit);  // got evicted
+}
+
+TEST(CacheModel, DirtyEvictionReportsLine) {
+  nvm::CacheModel l3(2 * 64, 2);  // one set, 2 ways
+  l3.access(1, true);             // dirty
+  l3.access(2, false);
+  auto r = l3.access(3, false);  // evicts LRU = line 1 (dirty)
+  EXPECT_EQ(r.evicted_dirty_line, 1u);
+}
+
+TEST(CacheModel, CleanDropsDirtyBit) {
+  nvm::CacheModel l3(2 * 64, 2);
+  l3.access(1, true);
+  EXPECT_TRUE(l3.clean(1));   // was dirty
+  EXPECT_FALSE(l3.clean(1));  // now clean
+  EXPECT_FALSE(l3.clean(99));  // absent
+}
+
+TEST(DramCache, DirectMappedConflict) {
+  nvm::DramCacheDirectory dir(64 * 8);  // 8 slots
+  EXPECT_FALSE(dir.access(3, true).hit);
+  EXPECT_TRUE(dir.access(3, false).hit);
+  // 3 and 11 collide (11 % 8 == 3): dirty victim reported.
+  auto r = dir.access(11, false);
+  EXPECT_FALSE(r.hit);
+  EXPECT_EQ(r.evicted_dirty_line, 3u);
+}
+
+// ---------------------------------------------------------------- pool
+
+TEST(Pool, LayoutIsSane) {
+  auto cfg = test::small_cfg();
+  nvm::Pool pool(cfg);
+  auto* h = pool.header();
+  EXPECT_EQ(h->magic, nvm::Pool::kMagic);
+  EXPECT_EQ(h->size, cfg.pool_size);
+  EXPECT_GT(h->heap_off, h->meta_off);
+  EXPECT_GT(pool.heap_bytes(), 1u << 20);
+  // Worker meta slots are disjoint.
+  EXPECT_EQ(pool.worker_meta(1) - pool.worker_meta(0),
+            static_cast<ptrdiff_t>(cfg.per_worker_meta_bytes));
+  EXPECT_TRUE(pool.contains(pool.heap_base()));
+  EXPECT_FALSE(pool.contains(&cfg));
+}
+
+TEST(Pool, OffsetRoundTrip) {
+  nvm::Pool pool(test::small_cfg());
+  char* p = pool.heap_base() + 1234;
+  EXPECT_EQ(pool.at(pool.offset_of(p)), p);
+}
+
+TEST(Pool, RootAreaIsStable) {
+  nvm::Pool pool(test::small_cfg());
+  struct R {
+    uint64_t a, b;
+  };
+  pool.root<R>()->a = 77;
+  EXPECT_EQ(pool.root<R>()->a, 77u);
+}
+
+// ------------------------------------------------- memory timing (DES)
+
+namespace {
+
+// Run a single DES worker over `body` and return its simulated duration.
+uint64_t timed(nvm::Pool& pool, const std::function<void(sim::ExecContext&)>& body) {
+  (void)pool;
+  sim::Engine e(1);
+  e.run(body);
+  return e.elapsed_ns();
+}
+
+}  // namespace
+
+TEST(MemoryTiming, OptaneLoadSlowerThanDram) {
+  auto mk = [](nvm::Media m) {
+    auto cfg = test::small_cfg(nvm::Domain::kEadr, m);
+    return cfg;
+  };
+  uint64_t t_dram, t_optane;
+  {
+    nvm::Pool pool(mk(nvm::Media::kDram));
+    t_dram = timed(pool, [&](sim::ExecContext& ctx) {
+      for (int i = 0; i < 1000; i++) {
+        // Stride by 64 lines so every access misses the small L3.
+        auto* w = reinterpret_cast<uint64_t*>(pool.heap_base() + (i * 64 * 67) % (16 << 20));
+        pool.mem().load_word(ctx, nullptr, w, nvm::Space::kData);
+      }
+    });
+  }
+  {
+    nvm::Pool pool(mk(nvm::Media::kOptane));
+    t_optane = timed(pool, [&](sim::ExecContext& ctx) {
+      for (int i = 0; i < 1000; i++) {
+        auto* w = reinterpret_cast<uint64_t*>(pool.heap_base() + (i * 64 * 67) % (16 << 20));
+        pool.mem().load_word(ctx, nullptr, w, nvm::Space::kData);
+      }
+    });
+  }
+  EXPECT_GT(t_optane, t_dram * 2);
+}
+
+TEST(MemoryTiming, L3HitsAreCheap) {
+  auto cfg = test::small_cfg(nvm::Domain::kEadr, nvm::Media::kOptane);
+  nvm::Pool pool(cfg);
+  stats::TxCounters c;
+  const uint64_t t = timed(pool, [&](sim::ExecContext& ctx) {
+    auto* w = reinterpret_cast<uint64_t*>(pool.heap_base());
+    for (int i = 0; i < 1000; i++) pool.mem().load_word(ctx, &c, w, nvm::Space::kData);
+  });
+  EXPECT_EQ(c.l3_misses, 1u);
+  EXPECT_EQ(c.l3_hits, 999u);
+  EXPECT_LT(t, 1000u * 25);  // ~l3_hit_ns each, not optane_load_ns
+}
+
+TEST(MemoryTiming, AdrClwbAndFenceCost) {
+  auto cfg = test::small_cfg(nvm::Domain::kAdr, nvm::Media::kOptane);
+  nvm::Pool pool(cfg);
+  stats::TxCounters c;
+  const uint64_t t = timed(pool, [&](sim::ExecContext& ctx) {
+    auto* w = reinterpret_cast<uint64_t*>(pool.heap_base());
+    pool.mem().store_word(ctx, &c, w, 1, nvm::Space::kData);
+    pool.mem().clwb(ctx, &c, w);
+    pool.mem().sfence(ctx, &c);
+  });
+  EXPECT_EQ(c.clwbs, 1u);
+  EXPECT_EQ(c.sfences, 1u);
+  // The fence must wait for the ~94ns drain of the clwb'd line.
+  EXPECT_GT(t, 94u);
+}
+
+TEST(MemoryTiming, EadrElidesFlushes) {
+  auto cfg = test::small_cfg(nvm::Domain::kEadr, nvm::Media::kOptane);
+  nvm::Pool pool(cfg);
+  stats::TxCounters c;
+  const uint64_t t = timed(pool, [&](sim::ExecContext& ctx) {
+    auto* w = reinterpret_cast<uint64_t*>(pool.heap_base());
+    pool.mem().store_word(ctx, &c, w, 1, nvm::Space::kData);
+    pool.mem().clwb(ctx, &c, w);
+    pool.mem().sfence(ctx, &c);
+  });
+  EXPECT_EQ(c.clwbs, 0u);   // not even counted: the instruction is elided
+  EXPECT_EQ(c.sfences, 0u);
+  EXPECT_LT(t, 94u + 250u);
+}
+
+TEST(MemoryTiming, ElideFencesSkipsDrainButCountsClwb) {
+  auto cfg = test::small_cfg(nvm::Domain::kAdr, nvm::Media::kOptane);
+  cfg.elide_fences = true;
+  nvm::Pool pool(cfg);
+  stats::TxCounters c;
+  timed(pool, [&](sim::ExecContext& ctx) {
+    auto* w = reinterpret_cast<uint64_t*>(pool.heap_base());
+    pool.mem().store_word(ctx, &c, w, 1, nvm::Space::kData);
+    pool.mem().clwb(ctx, &c, w);
+    pool.mem().sfence(ctx, &c);
+  });
+  EXPECT_EQ(c.clwbs, 1u);
+  EXPECT_EQ(c.sfences, 1u);
+  EXPECT_EQ(c.fence_wait_ns, 0u);
+}
+
+TEST(MemoryTiming, PdramHitsDramLatency) {
+  auto cfg = test::small_cfg(nvm::Domain::kPdram, nvm::Media::kOptane);
+  nvm::Pool pool(cfg);
+  stats::TxCounters c;
+  timed(pool, [&](sim::ExecContext& ctx) {
+    auto* w = reinterpret_cast<uint64_t*>(pool.heap_base());
+    // First access: L3 miss + directory miss (fetch from Optane).
+    pool.mem().load_word(ctx, &c, w, nvm::Space::kData);
+  });
+  EXPECT_EQ(c.dram_cache_misses, 1u);
+  // Re-run with a line working set larger than L3 (1MB = 16384 lines) but
+  // inside the 4MB directory: the second sweep thrashes L3 (sequential LRU
+  // scan) yet hits the DRAM cache.
+  stats::TxCounters c2;
+  timed(pool, [&](sim::ExecContext& ctx) {
+    for (int rep = 0; rep < 2; rep++) {
+      for (int i = 0; i < 20000; i++) {
+        auto* w = reinterpret_cast<uint64_t*>(pool.heap_base() + i * 64);
+        pool.mem().load_word(ctx, &c2, w, nvm::Space::kData);
+      }
+    }
+  });
+  EXPECT_GT(c2.dram_cache_hits, 15000u);
+}
+
+TEST(MemoryTiming, TouchLinesModelsVirtualPayloads) {
+  auto cfg = test::small_cfg(nvm::Domain::kEadr, nvm::Media::kOptane);
+  nvm::Pool pool(cfg);
+  stats::TxCounters c;
+  const uint64_t base = pool.mem().virtual_line_base();
+  const uint64_t t = timed(pool, [&](sim::ExecContext& ctx) {
+    pool.mem().touch_lines(ctx, &c, base, 16, false, nvm::Space::kData);
+  });
+  EXPECT_EQ(c.pmem_loads, 16u);
+  EXPECT_EQ(c.l3_misses, 16u);
+  EXPECT_GT(t, 16u * 200);  // 16 cold Optane line reads
+}
+
+// --------------------------------------------- crash shadow semantics
+
+TEST(CrashSim, AdrUnflushedStoreIsLost) {
+  auto cfg = test::small_cfg(nvm::Domain::kAdr, nvm::Media::kOptane, /*crash_sim=*/true);
+  cfg.crash_evict_prob = 0.0;  // strict adversary: nothing persists uninvited
+  cfg.crash_pending_prob = 0.0;
+  nvm::Pool pool(cfg);
+  sim::RealContext ctx;
+  auto* w = reinterpret_cast<uint64_t*>(pool.heap_base());
+  pool.mem().store_word(ctx, nullptr, w, 42, nvm::Space::kData);
+  util::Rng rng(1);
+  pool.simulate_power_failure(rng);
+  EXPECT_EQ(*w, 0u);
+}
+
+TEST(CrashSim, AdrFencedStoreSurvives) {
+  auto cfg = test::small_cfg(nvm::Domain::kAdr, nvm::Media::kOptane, /*crash_sim=*/true);
+  cfg.crash_evict_prob = 0.0;
+  cfg.crash_pending_prob = 0.0;
+  nvm::Pool pool(cfg);
+  sim::RealContext ctx;
+  auto* w = reinterpret_cast<uint64_t*>(pool.heap_base());
+  pool.mem().store_word(ctx, nullptr, w, 42, nvm::Space::kData);
+  pool.mem().clwb(ctx, nullptr, w);
+  pool.mem().sfence(ctx, nullptr);
+  util::Rng rng(1);
+  pool.simulate_power_failure(rng);
+  EXPECT_EQ(*w, 42u);
+}
+
+TEST(CrashSim, AdrClwbWithoutFenceMayOrMayNotPersist) {
+  for (const double prob : {0.0, 1.0}) {
+    auto cfg = test::small_cfg(nvm::Domain::kAdr, nvm::Media::kOptane, /*crash_sim=*/true);
+    cfg.crash_evict_prob = 0.0;
+    cfg.crash_pending_prob = prob;
+    nvm::Pool pool(cfg);
+    sim::RealContext ctx;
+    auto* w = reinterpret_cast<uint64_t*>(pool.heap_base());
+    pool.mem().store_word(ctx, nullptr, w, 42, nvm::Space::kData);
+    pool.mem().clwb(ctx, nullptr, w);  // no fence
+    util::Rng rng(1);
+    pool.simulate_power_failure(rng);
+    EXPECT_EQ(*w, prob == 1.0 ? 42u : 0u);
+  }
+}
+
+TEST(CrashSim, EadrEverythingPersists) {
+  auto cfg = test::small_cfg(nvm::Domain::kEadr, nvm::Media::kOptane, /*crash_sim=*/true);
+  nvm::Pool pool(cfg);
+  sim::RealContext ctx;
+  auto* w = reinterpret_cast<uint64_t*>(pool.heap_base());
+  pool.mem().store_word(ctx, nullptr, w, 7, nvm::Space::kData);  // no flush at all
+  util::Rng rng(1);
+  pool.simulate_power_failure(rng);
+  EXPECT_EQ(*w, 7u);
+}
+
+TEST(CrashSim, ClwbCapturesContentAtFlushTime) {
+  auto cfg = test::small_cfg(nvm::Domain::kAdr, nvm::Media::kOptane, /*crash_sim=*/true);
+  cfg.crash_evict_prob = 0.0;
+  cfg.crash_pending_prob = 0.0;
+  nvm::Pool pool(cfg);
+  sim::RealContext ctx;
+  auto* w = reinterpret_cast<uint64_t*>(pool.heap_base());
+  pool.mem().store_word(ctx, nullptr, w, 1, nvm::Space::kData);
+  pool.mem().clwb(ctx, nullptr, w);
+  pool.mem().sfence(ctx, nullptr);
+  // Overwrite after the fence, without flushing the new value.
+  pool.mem().store_word(ctx, nullptr, w, 2, nvm::Space::kData);
+  util::Rng rng(1);
+  pool.simulate_power_failure(rng);
+  EXPECT_EQ(*w, 1u);  // the fenced value, not the later dirty one
+}
+
+TEST(CrashSim, CheckpointMakesStateDurable) {
+  auto cfg = test::small_cfg(nvm::Domain::kAdr, nvm::Media::kOptane, /*crash_sim=*/true);
+  cfg.crash_evict_prob = 0.0;
+  cfg.crash_pending_prob = 0.0;
+  nvm::Pool pool(cfg);
+  sim::RealContext ctx;
+  auto* w = reinterpret_cast<uint64_t*>(pool.heap_base());
+  pool.mem().store_word(ctx, nullptr, w, 9, nvm::Space::kData);
+  pool.mem().checkpoint_all_persistent();
+  util::Rng rng(1);
+  pool.simulate_power_failure(rng);
+  EXPECT_EQ(*w, 9u);
+}

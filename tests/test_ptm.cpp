@@ -1,0 +1,219 @@
+// Single-threaded PTM semantics, parameterized over (algorithm, domain,
+// media): the transactional contract must hold identically in every
+// configuration the paper evaluates.
+#include <gtest/gtest.h>
+
+#include "ptm/runtime.h"
+#include "test_common.h"
+
+namespace {
+
+struct Param {
+  ptm::Algo algo;
+  nvm::Domain domain;
+  nvm::Media media;
+};
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  std::string s = ptm::algo_suffix(info.param.algo);
+  s += "_";
+  s += nvm::domain_name(info.param.domain);
+  s += "_";
+  s += nvm::media_name(info.param.media);
+  // gtest names must be alphanumeric.
+  for (auto& ch : s) {
+    if (ch == '-') ch = '_';
+  }
+  return s;
+}
+
+class PtmTest : public ::testing::TestWithParam<Param> {
+ protected:
+  PtmTest()
+      : fx_(test::small_cfg(GetParam().domain, GetParam().media), GetParam().algo) {}
+  test::Fixture fx_;
+
+  struct Root {
+    uint64_t a, b, c;
+    uint64_t list_head;
+  };
+  Root* root() { return fx_.pool.root<Root>(); }
+};
+
+TEST_P(PtmTest, ReadAfterWriteInSameTx) {
+  fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) {
+    tx.write(&root()->a, uint64_t{5});
+    EXPECT_EQ(tx.read(&root()->a), 5u);
+    tx.write(&root()->a, uint64_t{6});
+    EXPECT_EQ(tx.read(&root()->a), 6u);
+  });
+  fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) { EXPECT_EQ(tx.read(&root()->a), 6u); });
+}
+
+TEST_P(PtmTest, CommitPublishesAllWrites) {
+  fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) {
+    tx.write(&root()->a, uint64_t{1});
+    tx.write(&root()->b, uint64_t{2});
+    tx.write(&root()->c, uint64_t{3});
+  });
+  EXPECT_EQ(root()->a, 1u);
+  EXPECT_EQ(root()->b, 2u);
+  EXPECT_EQ(root()->c, 3u);
+}
+
+TEST_P(PtmTest, UserExceptionRollsBack) {
+  root()->a = 0;
+  fx_.pool.mem().checkpoint_all_persistent();
+  struct Boom {};
+  EXPECT_THROW(fx_.rt.run(fx_.ctx,
+                          [&](ptm::Tx& tx) {
+                            tx.write(&root()->a, uint64_t{99});
+                            throw Boom{};
+                          }),
+               Boom);
+  // Eager rolls the in-place store back; lazy never wrote it.
+  EXPECT_EQ(root()->a, 0u);
+  // The runtime stays usable.
+  fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) { tx.write(&root()->a, uint64_t{1}); });
+  EXPECT_EQ(root()->a, 1u);
+}
+
+TEST_P(PtmTest, SubWordAccess) {
+  struct Packed {
+    uint32_t x;
+    uint16_t y;
+    uint8_t z;
+    uint8_t w;
+  };
+  auto* p = reinterpret_cast<Packed*>(&root()->a);
+  fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) {
+    tx.write(&p->x, uint32_t{0xdeadbeef});
+    tx.write(&p->y, uint16_t{0x1234});
+    tx.write(&p->z, uint8_t{0x56});
+    EXPECT_EQ(tx.read(&p->x), 0xdeadbeefu);
+    EXPECT_EQ(tx.read(&p->y), 0x1234u);
+    EXPECT_EQ(tx.read(&p->z), 0x56u);
+  });
+  EXPECT_EQ(p->x, 0xdeadbeefu);
+  EXPECT_EQ(p->y, 0x1234u);
+  EXPECT_EQ(p->z, 0x56u);
+}
+
+TEST_P(PtmTest, MultiWordBytes) {
+  char msg[24] = "persistent memory!!";
+  auto* dst = reinterpret_cast<char*>(&root()->a);  // a,b,c = 24 bytes
+  fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) { tx.write_bytes(dst, msg, sizeof(msg)); });
+  char out[24];
+  fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) { tx.read_bytes(dst, out, sizeof(out)); });
+  EXPECT_EQ(std::memcmp(out, msg, sizeof(msg)), 0);
+}
+
+TEST_P(PtmTest, AllocVisibleAfterCommit) {
+  fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) {
+    auto* node = static_cast<uint64_t*>(tx.alloc(32));
+    tx.write(node, uint64_t{0xabcd});
+    tx.write(&root()->list_head, reinterpret_cast<uint64_t>(node));
+  });
+  auto* node = reinterpret_cast<uint64_t*>(root()->list_head);
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(*node, 0xabcdu);
+}
+
+TEST_P(PtmTest, AllocReleasedOnUserAbort) {
+  auto& allocator = fx_.rt.allocator();
+  const uint64_t hw_before = allocator.high_water_bytes();
+  struct Boom {};
+  EXPECT_THROW(fx_.rt.run(fx_.ctx,
+                          [&](ptm::Tx& tx) {
+                            void* p = tx.alloc(64);
+                            (void)p;
+                            throw Boom{};
+                          }),
+               Boom);
+  // The block went back to a free list; the next alloc of the same class
+  // recycles it instead of bumping.
+  fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) { (void)tx.alloc(64); });
+  EXPECT_EQ(allocator.high_water_bytes(),
+            hw_before + 8 + 64);  // exactly one block was ever carved
+}
+
+TEST_P(PtmTest, DeallocAppliedOnlyAtCommit) {
+  uint64_t* node = nullptr;
+  fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) {
+    node = static_cast<uint64_t*>(tx.alloc(48));
+    tx.write(node, uint64_t{11});
+  });
+  auto& allocator = fx_.rt.allocator();
+  struct Boom {};
+  EXPECT_THROW(fx_.rt.run(fx_.ctx,
+                          [&](ptm::Tx& tx) {
+                            tx.dealloc(node);
+                            throw Boom{};
+                          }),
+               Boom);
+  EXPECT_FALSE(allocator.in_free_list(node));  // abort: free dropped
+  fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) { tx.dealloc(node); });
+  EXPECT_TRUE(allocator.in_free_list(node));  // commit: free applied
+}
+
+TEST_P(PtmTest, CountersTrackCommits) {
+  fx_.rt.reset_counters();
+  for (int i = 0; i < 10; i++) {
+    fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) { tx.write(&root()->a, uint64_t(i)); });
+  }
+  const auto& c = fx_.rt.counters(0);
+  EXPECT_EQ(c.commits, 10u);
+  EXPECT_EQ(c.aborts, 0u);
+  EXPECT_GE(c.writes, 10u);
+}
+
+TEST_P(PtmTest, AdrIssuesFencesEadrDoesNot) {
+  fx_.rt.reset_counters();
+  fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) {
+    for (int i = 0; i < 8; i++) tx.write(&root()->a, uint64_t(i));
+    tx.write(&root()->b, uint64_t{1});
+  });
+  const auto& c = fx_.rt.counters(0);
+  if (GetParam().domain == nvm::Domain::kAdr) {
+    EXPECT_GT(c.sfences, 0u);
+    EXPECT_GT(c.clwbs, 0u);
+  } else {
+    EXPECT_EQ(c.sfences, 0u);
+    EXPECT_EQ(c.clwbs, 0u);
+  }
+}
+
+TEST_P(PtmTest, ReadOnlyTxLeavesNoLog) {
+  fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) { tx.write(&root()->a, uint64_t{3}); });
+  fx_.rt.reset_counters();
+  fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) { EXPECT_EQ(tx.read(&root()->a), 3u); });
+  EXPECT_EQ(fx_.rt.counters(0).log_bytes, 0u);
+}
+
+TEST_P(PtmTest, ExplicitAbortRetries) {
+  int attempts = 0;
+  fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) {
+    attempts++;
+    tx.write(&root()->a, uint64_t{1});
+    if (attempts < 3) tx.abort_and_retry();
+  });
+  EXPECT_EQ(attempts, 3);
+  EXPECT_EQ(root()->a, 1u);
+  EXPECT_EQ(fx_.rt.counters(0).aborts, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, PtmTest,
+    ::testing::Values(
+        Param{ptm::Algo::kOrecLazy, nvm::Domain::kAdr, nvm::Media::kOptane},
+        Param{ptm::Algo::kOrecLazy, nvm::Domain::kEadr, nvm::Media::kOptane},
+        Param{ptm::Algo::kOrecLazy, nvm::Domain::kPdram, nvm::Media::kOptane},
+        Param{ptm::Algo::kOrecLazy, nvm::Domain::kPdramLite, nvm::Media::kOptane},
+        Param{ptm::Algo::kOrecLazy, nvm::Domain::kAdr, nvm::Media::kDram},
+        Param{ptm::Algo::kOrecEager, nvm::Domain::kAdr, nvm::Media::kOptane},
+        Param{ptm::Algo::kOrecEager, nvm::Domain::kEadr, nvm::Media::kOptane},
+        Param{ptm::Algo::kOrecEager, nvm::Domain::kPdram, nvm::Media::kOptane},
+        Param{ptm::Algo::kOrecEager, nvm::Domain::kAdr, nvm::Media::kDram}),
+    param_name);
+
+}  // namespace
