@@ -38,12 +38,14 @@ int main() {
       const auto r = workloads::run_point(factory, p);
       row.push_back(util::fmt(
           r.totals.energy_pj / 1e6 / static_cast<double>(r.totals.commits), 2));
+      bench::Output::instance().add_result(
+          "Energy", std::string(nvm::domain_name(domain)) + "_" + ptm::algo_suffix(algo), r);
       std::cout << "." << std::flush;
     }
     dyn.add_row(std::move(row));
   }
-  std::cout << "\n== Extension: dynamic energy per transaction, TPCC(Hash), 8 threads ==\n";
-  dyn.print(std::cout);
+  bench::Output::instance().table(
+      "Extension: dynamic energy per transaction, TPCC(Hash), 8 threads", dyn);
 
   // --- reserve energy at paper-scale geometry --------------------------
   nvm::EnergyModel em;
@@ -64,8 +66,8 @@ int main() {
                               : util::fmt(joules, 1) + " J",
                  nvm::EnergyModel::reserve_technology(joules)});
   }
-  std::cout << "\n== Extension: reserve-power requirements (paper-scale geometry) ==\n";
-  res.print(std::cout);
+  bench::Output::instance().table(
+      "Extension: reserve-power requirements (paper-scale geometry)", res);
   std::cout << "Expected: ADR microseconds/millijoules (PSU hold-up), eADR ~10ms/"
             << "joules (capacitors),\nPDRAM tens of seconds/kilojoules (battery) — "
             << "the paper's 'ADR exists, eADR needs caps,\nPDRAM needs lithium-ion' "

@@ -47,6 +47,9 @@ int main() {
     // issue cost without amortization).
     p.sys.cost.clwb_issue_ns *= 1.15;  // de-amortized issue overhead
     const auto spread = workloads::run_point(factory, p);
+    auto& out = bench::Output::instance();
+    out.add_result("Flush timing", "batched", batched);
+    out.add_result("Flush timing", "incremental", spread);
     std::cout << "." << std::flush;
 
     const double b = batched.throughput_mtx_per_sec();
@@ -54,9 +57,10 @@ int main() {
     table.add_row({std::to_string(threads), util::fmt(b, 3), util::fmt(s, 3),
                    util::fmt(100.0 * (s / b - 1.0), 1) + "%"});
   }
-  std::cout << "\n== Ablation (paper §III.B): batched vs incremental redo-log "
-            << "flushing, TPCC(Hash), Optane ADR ==\n";
-  table.print(std::cout);
+  bench::Output::instance().table(
+      "Ablation (paper §III.B): batched vs incremental redo-log "
+      "flushing, TPCC(Hash), Optane ADR",
+      table);
   std::cout << "Expected: deltas within a few percent — flush timing does not "
             << "change WPQ-bound behaviour.\n";
   return 0;

@@ -15,7 +15,8 @@
 
 namespace {
 
-uint64_t log_hwm_lines(const workloads::WorkloadFactory& factory, uint64_t ops) {
+uint64_t log_hwm_lines(const workloads::WorkloadFactory& factory, uint64_t ops,
+                       const char* label) {
   workloads::RunPoint p;
   bench::apply_model_scale(p.sys);
   p.sys.media = nvm::Media::kOptane;
@@ -24,6 +25,7 @@ uint64_t log_hwm_lines(const workloads::WorkloadFactory& factory, uint64_t ops) 
   p.threads = 4;
   p.ops_per_thread = bench::scaled_ops(ops);
   const auto r = workloads::run_point(factory, p);
+  bench::Output::instance().add_result("Log footprint", label, r);
   std::cout << "." << std::flush;
   return r.totals.log_lines_hwm;
 }
@@ -46,19 +48,30 @@ int main() {
   kv.items = 1 << 14;
 
   util::TextTable table({"workload", "redo-log high-watermark (cache lines)"});
-  table.add_row({"B+Tree insert", std::to_string(log_hwm_lines(workloads::btree_micro_factory(bi), 300))});
-  table.add_row({"B+Tree mixed", std::to_string(log_hwm_lines(workloads::btree_micro_factory(bm), 300))});
-  table.add_row({"TPCC (Hash)", std::to_string(log_hwm_lines(workloads::tpcc_factory(th), 150))});
-  table.add_row({"TPCC (B+Tree)", std::to_string(log_hwm_lines(workloads::tpcc_factory(tb), 150))});
-  table.add_row({"TATP", std::to_string(log_hwm_lines(workloads::tatp_factory(ta), 500))});
-  table.add_row({"Vacation (low)", std::to_string(log_hwm_lines(
-                                       workloads::vacation_factory(workloads::vacation_low()), 200))});
-  table.add_row({"Vacation (high)", std::to_string(log_hwm_lines(
-                                        workloads::vacation_factory(workloads::vacation_high()), 200))});
-  table.add_row({"memcached-kv", std::to_string(log_hwm_lines(workloads::kv_factory(kv), 300))});
+  table.add_row({"B+Tree insert",
+                 std::to_string(log_hwm_lines(workloads::btree_micro_factory(bi), 300,
+                                              "B+Tree insert"))});
+  table.add_row({"B+Tree mixed",
+                 std::to_string(log_hwm_lines(workloads::btree_micro_factory(bm), 300,
+                                              "B+Tree mixed"))});
+  table.add_row({"TPCC (Hash)",
+                 std::to_string(log_hwm_lines(workloads::tpcc_factory(th), 150, "TPCC (Hash)"))});
+  table.add_row({"TPCC (B+Tree)", std::to_string(log_hwm_lines(workloads::tpcc_factory(tb), 150,
+                                                               "TPCC (B+Tree)"))});
+  table.add_row({"TATP", std::to_string(log_hwm_lines(workloads::tatp_factory(ta), 500, "TATP"))});
+  table.add_row({"Vacation (low)",
+                 std::to_string(log_hwm_lines(
+                     workloads::vacation_factory(workloads::vacation_low()), 200,
+                     "Vacation (low)"))});
+  table.add_row({"Vacation (high)",
+                 std::to_string(log_hwm_lines(
+                     workloads::vacation_factory(workloads::vacation_high()), 200,
+                     "Vacation (high)"))});
+  table.add_row({"memcached-kv",
+                 std::to_string(log_hwm_lines(workloads::kv_factory(kv), 300, "memcached-kv"))});
 
-  std::cout << "\n== Ablation (paper §IV.B): redo-log footprint per transaction ==\n";
-  table.print(std::cout);
+  bench::Output::instance().table(
+      "Ablation (paper §IV.B): redo-log footprint per transaction", table);
   std::cout << "Paper reference points: Vacation <= 37 lines, TPCC(Hash) <= 36 lines.\n"
             << "A handful of pages per thread suffices for PDRAM-Lite.\n";
   return 0;

@@ -6,22 +6,105 @@
 // redo logging, etc.). Absolute numbers are simulated-throughput values;
 // EXPERIMENTS.md compares *shapes* against the paper.
 //
-// Environment knobs:
+// Environment knobs (see docs/OBSERVABILITY.md):
 //   REPRO_OPS_SCALE   multiply operations per thread (default 1.0)
 //   REPRO_MAX_THREADS cap the thread sweep (default 32)
 //   REPRO_CSV=1       emit CSV after each table
+//   REPRO_JSON=<file> write every bench point as a JSON artifact (implies
+//                     phase-latency telemetry; scripts/compare_results.py
+//                     diffs two artifacts)
+//   REPRO_TRACE=<file> record Chrome trace_event spans (src/stats/trace.h)
+//   REPRO_TELEMETRY=1 phase histograms without the JSON artifact
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "stats/histogram.h"
+#include "stats/json_writer.h"
 #include "stats/report.h"
 #include "util/table.h"
 #include "workloads/driver.h"
 
 namespace bench {
+
+/// Output dispatch shared by every bench binary: renders each finished
+/// table in all enabled tabular formats (text always, CSV on REPRO_CSV=1)
+/// and accumulates every benchmark point for the REPRO_JSON artifact,
+/// which is written once at process exit. Replaces the per-binary inline
+/// getenv checks so the knobs behave identically across all binaries.
+class Output {
+ public:
+  static Output& instance() {
+    static Output o;
+    return o;
+  }
+
+  /// Print a finished table (text + optional CSV).
+  void table(const std::string& title, const util::TextTable& t) {
+    std::cout << "\n== " << title << " ==\n";
+    t.print(std::cout);
+    if (csv_) t.print_csv(std::cout);
+    std::cout << std::endl;
+  }
+
+  /// Register one benchmark point for the JSON artifact. `bench` is the
+  /// panel/table title, `label` the curve (a point is identified by
+  /// (bench, label, threads) — compare_results.py matches on that key).
+  void add_result(std::string bench, std::string label, const stats::RunResult& r) {
+    if (json_path_.empty()) return;
+    points_.push_back(Point{std::move(bench), std::move(label), r});
+  }
+
+  ~Output() {
+    if (json_path_.empty()) return;
+    std::ofstream f(json_path_);
+    if (!f) {
+      std::cerr << "REPRO_JSON: cannot open " << json_path_ << "\n";
+      return;
+    }
+    stats::JsonWriter w(f);
+    w.begin_object();
+    w.kv("schema_version", 1);
+    w.kv("tool", "optane-ptm-bench");
+    w.key("results").begin_array();
+    for (const Point& p : points_) {
+      w.begin_object();
+      w.kv("bench", p.bench);
+      w.kv("label", p.label);
+      stats::write_run_result_fields(w, p.result);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    f << "\n";
+    std::cerr << "REPRO_JSON: wrote " << points_.size() << " points to " << json_path_
+              << "\n";
+  }
+
+ private:
+  Output() {
+    if (const char* s = std::getenv("REPRO_CSV")) csv_ = s[0] == '1';
+    if (const char* p = std::getenv("REPRO_JSON"); p != nullptr && p[0] != '\0') {
+      json_path_ = p;
+      // The artifact's phase percentiles require the latency histograms.
+      stats::set_telemetry_enabled(true);
+    }
+  }
+
+  struct Point {
+    std::string bench;
+    std::string label;
+    stats::RunResult result;
+  };
+
+  bool csv_ = false;
+  std::string json_path_;
+  std::vector<Point> points_;
+};
 
 struct Curve {
   std::string label;
@@ -124,16 +207,12 @@ inline void run_panel(const std::string& title, const workloads::WorkloadFactory
       p.seed = seed;
       const auto r = workloads::run_point(factory, p);
       row.push_back(util::fmt(r.throughput_mtx_per_sec(), 3));
+      Output::instance().add_result(title, c.label, r);
     }
     table.add_row(std::move(row));
     std::cout << "." << std::flush;  // progress heartbeat
   }
-  std::cout << "\n== " << title << " (throughput, simulated Mtx/s) ==\n";
-  table.print(std::cout);
-  if (const char* csv = std::getenv("REPRO_CSV"); csv && csv[0] == '1') {
-    table.print_csv(std::cout);
-  }
-  std::cout << std::endl;
+  Output::instance().table(title + " (throughput, simulated Mtx/s)", table);
 }
 
 }  // namespace bench

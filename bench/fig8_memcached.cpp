@@ -67,12 +67,16 @@ int main() {
       const auto r = workloads::run_point(workloads::kv_factory(kp), p);
       // Requests per simulated second (throughput in Kreq/s for legibility).
       row.push_back(util::fmt(r.throughput_tx_per_sec() / 1e3, 1));
+      // All points run at threads=1, so the working set joins the label to
+      // keep the (bench, label, threads) JSON key unique.
+      bench::Output::instance().add_result("Fig 8", c.label + "@" + ws.paper_label, r);
       std::cout << "." << std::flush;
     }
     table.add_row(std::move(row));
   }
-  std::cout << "\n== Fig 8: memcached requests/s vs working set "
-            << "(Kreq/s, simulated; hierarchy scaled 1/256) ==\n";
-  table.print(std::cout);
+  bench::Output::instance().table(
+      "Fig 8: memcached requests/s vs working set "
+      "(Kreq/s, simulated; hierarchy scaled 1/256)",
+      table);
   return 0;
 }

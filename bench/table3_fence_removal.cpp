@@ -13,7 +13,7 @@
 namespace {
 
 double speedup_pct(const workloads::WorkloadFactory& factory, ptm::Algo algo, int threads,
-                   uint64_t ops) {
+                   uint64_t ops, const std::string& label) {
   workloads::RunPoint p;
   bench::apply_model_scale(p.sys);
   p.sys.media = nvm::Media::kOptane;
@@ -25,6 +25,9 @@ double speedup_pct(const workloads::WorkloadFactory& factory, ptm::Algo algo, in
   const auto base = workloads::run_point(factory, p);
   p.sys.elide_fences = true;
   const auto nofence = workloads::run_point(factory, p);
+  auto& out = bench::Output::instance();
+  out.add_result("Table III", label, base);
+  out.add_result("Table III", label + "/nofence", nofence);
   std::cout << "." << std::flush;
   return 100.0 *
          (nofence.throughput_tx_per_sec() / base.throughput_tx_per_sec() - 1.0);
@@ -56,14 +59,18 @@ int main() {
   util::TextTable table(std::move(header));
 
   for (auto algo : {ptm::Algo::kOrecEager, ptm::Algo::kOrecLazy}) {
-    std::vector<std::string> row{algo == ptm::Algo::kOrecEager ? "Undo" : "Redo"};
+    const std::string algo_name = algo == ptm::Algo::kOrecEager ? "Undo" : "Redo";
+    std::vector<std::string> row{algo_name};
     for (const auto& c : cols) {
-      row.push_back(util::fmt(speedup_pct(c.factory, algo, kThreads, c.ops), 1) + "%");
+      row.push_back(util::fmt(speedup_pct(c.factory, algo, kThreads, c.ops,
+                                          algo_name + "/" + c.name),
+                              1) +
+                    "%");
     }
     table.add_row(std::move(row));
   }
-  std::cout << "\n== Table III: speedup from removing sfences (ADR, Optane, "
-            << kThreads << " threads) ==\n";
-  table.print(std::cout);
+  bench::Output::instance().table("Table III: speedup from removing sfences (ADR, Optane, " +
+                                      std::to_string(kThreads) + " threads)",
+                                  table);
   return 0;
 }

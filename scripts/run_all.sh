@@ -15,8 +15,12 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
 
+# Each binary also writes its machine-readable results to results/<name>.json
+# (docs/OBSERVABILITY.md); diff two runs with scripts/compare_results.py.
+mkdir -p results
+
 for b in build/bench/*; do
   [[ -f "$b" && -x "$b" ]] || continue
   echo "===== $b ====="
-  "$b"
+  REPRO_JSON="results/$(basename "$b").json" "$b"
 done

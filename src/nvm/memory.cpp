@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "stats/trace.h"
+
 namespace nvm {
 
 Memory::Memory(const SystemConfig& cfg, char* base, size_t size)
@@ -110,6 +112,7 @@ void Memory::model_line(sim::ExecContext& ctx, stats::TxCounters* c, uint64_t li
         if (backlog > threshold) {
           const uint64_t stall = backlog - threshold;
           if (c) c->wpq_stall_ns += stall;
+          stats::record_phase(c, stats::Phase::kWpqStall, stall);
           cost += static_cast<double>(stall);
         }
       }
@@ -149,6 +152,7 @@ void Memory::background_writeback(sim::ExecContext& ctx, stats::TxCounters* c, u
   if (backlog > threshold) {
     const uint64_t stall = backlog - threshold;
     if (c) c->wpq_stall_ns += stall;
+    stats::record_phase(c, stats::Phase::kWpqStall, stall);
     ctx.advance(stall);
   }
 }
@@ -179,7 +183,12 @@ void Memory::clwb(sim::ExecContext& ctx, stats::TxCounters* c, const void* addr)
     // Stall while the WPQ is full.
     const uint64_t avail = wpq_.stall_until_ns(ctx.now_ns());
     if (avail > ctx.now_ns()) {
-      if (c) c->wpq_stall_ns += avail - ctx.now_ns();
+      const uint64_t stall = avail - ctx.now_ns();
+      if (c) c->wpq_stall_ns += stall;
+      stats::record_phase(c, stats::Phase::kWpqStall, stall);
+      if (stats::Trace::on()) {
+        stats::Trace::instance().span(ctx.worker_id(), "wpq_stall", ctx.now_ns(), stall);
+      }
       ctx.advance_to(avail);
     }
     wpq_.enqueue(ctx.worker_id(), ctx.now_ns(), write_chan(med), cm.write_svc_ns(med),
@@ -208,7 +217,9 @@ void Memory::persist_lines(sim::ExecContext& ctx, stats::TxCounters* c, uint64_t
     l3_.clean(line);
     const uint64_t avail = wpq_.stall_until_ns(ctx.now_ns());
     if (avail > ctx.now_ns()) {
-      if (c) c->wpq_stall_ns += avail - ctx.now_ns();
+      const uint64_t stall = avail - ctx.now_ns();
+      if (c) c->wpq_stall_ns += stall;
+      stats::record_phase(c, stats::Phase::kWpqStall, stall);
       ctx.advance_to(avail);
     }
     wpq_.enqueue(ctx.worker_id(), ctx.now_ns(), write_chan(med), cm.write_svc_ns(med),
@@ -228,7 +239,12 @@ void Memory::sfence(sim::ExecContext& ctx, stats::TxCounters* c) {
   if (cfg_.model_timing && ctx.is_simulated()) {
     const uint64_t drain = wpq_.worker_drain_ns(ctx.worker_id());
     if (drain > ctx.now_ns()) {
-      if (c) c->fence_wait_ns += drain - ctx.now_ns();
+      const uint64_t wait = drain - ctx.now_ns();
+      if (c) c->fence_wait_ns += wait;
+      stats::record_phase(c, stats::Phase::kFenceWait, wait);
+      if (stats::Trace::on()) {
+        stats::Trace::instance().span(ctx.worker_id(), "fence_wait", ctx.now_ns(), wait);
+      }
       ctx.advance_to(drain);
     }
     ctx.advance(static_cast<uint64_t>(cfg_.cost.sfence_ns));

@@ -23,11 +23,13 @@ uint64_t Tx::eager_read(const uint64_t* waddr) {
       // We own it: the in-place value is ours.
       return pool.mem().load_word(*ctx_, c_, waddr, nvm::Space::kData);
     }
-    abort_tx();
+    abort_tx(stats::AbortCause::kConflictRead);
   }
   const uint64_t val = pool.mem().load_word(*ctx_, c_, waddr, nvm::Space::kData);
   const uint64_t v2 = orec.load(std::memory_order_acquire);
-  if (v1 != v2 || OrecTable::version_of(v1) > start_time_) abort_tx();
+  if (v1 != v2 || OrecTable::version_of(v1) > start_time_) {
+    abort_tx(stats::AbortCause::kConflictRead);
+  }
   read_set_.emplace_back(&orec, v1);
   return val;
 }
@@ -42,14 +44,16 @@ void Tx::eager_write(uint64_t* waddr, uint64_t val) {
   std::atomic<uint64_t>& orec = orecs.for_addr(waddr);
   const uint64_t cur = orec.load(std::memory_order_acquire);
   if (OrecTable::is_locked(cur)) {
-    if (OrecTable::owner_of(cur) != me) abort_tx();
+    if (OrecTable::owner_of(cur) != me) abort_tx(stats::AbortCause::kConflictWrite);
   } else {
-    if (OrecTable::version_of(cur) > start_time_) abort_tx();
+    if (OrecTable::version_of(cur) > start_time_) {
+      abort_tx(stats::AbortCause::kConflictWrite);
+    }
     uint64_t expected = cur;
     ctx_->advance(static_cast<uint64_t>(cm.cas_ns));
     if (!orec.compare_exchange_strong(expected, OrecTable::lock_word(me),
                                       std::memory_order_acq_rel)) {
-      abort_tx();
+      abort_tx(stats::AbortCause::kConflictWrite);
     }
     owned_.push_back(OwnedOrec{&orec, cur});
   }
@@ -60,17 +64,21 @@ void Tx::eager_write(uint64_t* waddr, uint64_t val) {
   const uint64_t old = mem.load_word(*ctx_, c_, waddr, nvm::Space::kData);
   const size_t entry_idx = n_log_;
   append_log(pool.offset_of(waddr), old);
-  mem.store_word(*ctx_, c_, &slot_.header->log_count, n_log_, nvm::Space::kLog);
-  if (!active_persisted_) {
-    mem.store_word(*ctx_, c_, &slot_.header->algo, static_cast<uint64_t>(algo_),
-                   nvm::Space::kLog);
-    mem.store_word(*ctx_, c_, &slot_.header->status,
-                   TxSlotHeader::make(epoch_, TxSlotHeader::kActive), nvm::Space::kLog);
-    active_persisted_ = true;
+  {
+    // The per-write undo persist is undo logging's flush-drain window.
+    stats::PhaseTimer ft(*ctx_, &c_->phases, stats::Phase::kFlushDrain);
+    mem.store_word(*ctx_, c_, &slot_.header->log_count, n_log_, nvm::Space::kLog);
+    if (!active_persisted_) {
+      mem.store_word(*ctx_, c_, &slot_.header->algo, static_cast<uint64_t>(algo_),
+                     nvm::Space::kLog);
+      mem.store_word(*ctx_, c_, &slot_.header->status,
+                     TxSlotHeader::make(epoch_, TxSlotHeader::kActive), nvm::Space::kLog);
+      active_persisted_ = true;
+    }
+    persist_log_range(entry_idx, 1);
+    persist_slot_header();
+    mem.sfence(*ctx_, c_);
   }
-  persist_log_range(entry_idx, 1);
-  persist_slot_header();
-  mem.sfence(*ctx_, c_);
 
   // Speculative in-place store (protected by the orec lock).
   mem.store_word(*ctx_, c_, waddr, val, nvm::Space::kData);
@@ -88,14 +96,20 @@ void Tx::eager_commit() {
   }
 
   const uint64_t wv = rt_->orecs().tick();
-  if (wv != start_time_ + 1 && !validate_read_set()) abort_tx();
-
-  // Persist the in-place writes, then the commit record.
-  for (const uint64_t line : dirty_.lines()) {
-    mem.clwb(*ctx_, c_, pool.base() + line * nvm::Memory::kLineBytes);
+  if (wv != start_time_ + 1) {
+    stats::PhaseTimer vt(*ctx_, &c_->phases, stats::Phase::kValidate);
+    if (!validate_read_set()) abort_tx(stats::AbortCause::kValidation);
   }
-  mem.sfence(*ctx_, c_);
-  set_status(TxSlotHeader::kCommitted, /*fence=*/true);
+
+  {
+    stats::PhaseTimer ft(*ctx_, &c_->phases, stats::Phase::kFlushDrain);
+    // Persist the in-place writes, then the commit record.
+    for (const uint64_t line : dirty_.lines()) {
+      mem.clwb(*ctx_, c_, pool.base() + line * nvm::Memory::kLineBytes);
+    }
+    mem.sfence(*ctx_, c_);
+    set_status(TxSlotHeader::kCommitted, /*fence=*/true);
+  }
   // ---- durable commit point ----
 
   apply_frees();

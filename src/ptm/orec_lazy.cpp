@@ -24,10 +24,12 @@ uint64_t Tx::lazy_read(const uint64_t* waddr) {
 
   std::atomic<uint64_t>& orec = rt_->orecs().for_addr(waddr);
   const uint64_t v1 = orec.load(std::memory_order_acquire);
-  if (OrecTable::is_locked(v1)) abort_tx();
+  if (OrecTable::is_locked(v1)) abort_tx(stats::AbortCause::kConflictRead);
   const uint64_t val = pool.mem().load_word(*ctx_, c_, waddr, nvm::Space::kData);
   const uint64_t v2 = orec.load(std::memory_order_acquire);
-  if (v1 != v2 || OrecTable::version_of(v1) > start_time_) abort_tx();
+  if (v1 != v2 || OrecTable::version_of(v1) > start_time_) {
+    abort_tx(stats::AbortCause::kConflictRead);
+  }
   read_set_.emplace_back(&orec, v1);
   return val;
 }
@@ -65,14 +67,17 @@ void Tx::lazy_commit() {
     const uint64_t cur = orec.load(std::memory_order_acquire);
     if (OrecTable::is_locked(cur)) {
       if (OrecTable::owner_of(cur) == me) continue;  // hash collision / dup
-      abort_tx();  // handle_abort restores the orecs acquired so far
+      // handle_abort restores the orecs acquired so far
+      abort_tx(stats::AbortCause::kConflictWrite);
     }
-    if (OrecTable::version_of(cur) > start_time_) abort_tx();
+    if (OrecTable::version_of(cur) > start_time_) {
+      abort_tx(stats::AbortCause::kConflictWrite);
+    }
     uint64_t expected = cur;
     ctx_->advance(static_cast<uint64_t>(cm.cas_ns));
     if (!orec.compare_exchange_strong(expected, OrecTable::lock_word(me),
                                       std::memory_order_acq_rel)) {
-      abort_tx();
+      abort_tx(stats::AbortCause::kConflictWrite);
     }
     owned_.push_back(OwnedOrec{&orec, cur});
   }
@@ -81,29 +86,39 @@ void Tx::lazy_commit() {
   const uint64_t wv = orecs.tick();
 
   // 3. Validate the read set (skippable when nothing committed since begin).
-  if (wv != start_time_ + 1 && !validate_read_set()) abort_tx();
-
-  // 4. Persist the redo log, then the commit record (ADR: one fence each;
-  //    eADR/PDRAM elide the flushes inside mem).
-  mem.store_word(*ctx_, c_, &slot_.header->log_count, n_log_, nvm::Space::kLog);
-  mem.store_word(*ctx_, c_, &slot_.header->algo, static_cast<uint64_t>(algo_),
-                 nvm::Space::kLog);
-  persist_log_range(0, n_log_);
-  persist_slot_header();
-  mem.sfence(*ctx_, c_);
-  set_status(TxSlotHeader::kCommitted, /*fence=*/true);
-  // ---- durable commit point ----
-
-  // 5. Write back to home locations and persist them.
-  for (size_t i = 0; i < n_log_; i++) {
-    auto* home = static_cast<uint64_t*>(pool.at(LogEntry::offset_of(slot_.log[i].off)));
-    mem.store_word(*ctx_, c_, home, slot_.log[i].val, nvm::Space::kData);
-    dirty_.add(mem.line_of(home));
+  if (wv != start_time_ + 1) {
+    stats::PhaseTimer vt(*ctx_, &c_->phases, stats::Phase::kValidate);
+    if (!validate_read_set()) abort_tx(stats::AbortCause::kValidation);
   }
-  for (const uint64_t line : dirty_.lines()) {
-    mem.clwb(*ctx_, c_, pool.base() + line * nvm::Memory::kLineBytes);
+
+  {
+    // One flush-drain window covers the log persist, the commit record and
+    // the write-back flush — the fence-extended region the paper blames for
+    // longer lock-hold times under ADR.
+    stats::PhaseTimer ft(*ctx_, &c_->phases, stats::Phase::kFlushDrain);
+
+    // 4. Persist the redo log, then the commit record (ADR: one fence each;
+    //    eADR/PDRAM elide the flushes inside mem).
+    mem.store_word(*ctx_, c_, &slot_.header->log_count, n_log_, nvm::Space::kLog);
+    mem.store_word(*ctx_, c_, &slot_.header->algo, static_cast<uint64_t>(algo_),
+                   nvm::Space::kLog);
+    persist_log_range(0, n_log_);
+    persist_slot_header();
+    mem.sfence(*ctx_, c_);
+    set_status(TxSlotHeader::kCommitted, /*fence=*/true);
+    // ---- durable commit point ----
+
+    // 5. Write back to home locations and persist them.
+    for (size_t i = 0; i < n_log_; i++) {
+      auto* home = static_cast<uint64_t*>(pool.at(LogEntry::offset_of(slot_.log[i].off)));
+      mem.store_word(*ctx_, c_, home, slot_.log[i].val, nvm::Space::kData);
+      dirty_.add(mem.line_of(home));
+    }
+    for (const uint64_t line : dirty_.lines()) {
+      mem.clwb(*ctx_, c_, pool.base() + line * nvm::Memory::kLineBytes);
+    }
+    mem.sfence(*ctx_, c_);
   }
-  mem.sfence(*ctx_, c_);
 
   // 6. Apply deferred frees now that the transaction is durably committed.
   apply_frees();

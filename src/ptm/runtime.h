@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "ptm/tx.h"
+#include "stats/trace.h"
 
 namespace ptm {
 
@@ -33,14 +34,28 @@ class Runtime {
   void run(sim::ExecContext& ctx, F&& body) {
     Tx& tx = *txs_[static_cast<size_t>(ctx.worker_id())];
     tx.attach(&ctx, &counters_[static_cast<size_t>(ctx.worker_id())]);
+    const bool tracing = stats::Trace::on();
     for (;;) {
+      const uint64_t t0 = tracing ? ctx.now_ns() : 0;
       tx.begin();
       try {
         body(tx);
         tx.commit();
+        if (tracing) {
+          stats::Trace::instance().span(ctx.worker_id(), "tx", t0, ctx.now_ns() - t0,
+                                        "outcome", "commit");
+        }
         return;
       } catch (const AbortTx&) {
         tx.handle_abort();
+        if (tracing) {
+          // One span per *attempt*: aborted attempts appear individually,
+          // labelled by cause, so a conflict storm is visible as a run of
+          // short spans before the committing one.
+          stats::Trace::instance().span(ctx.worker_id(), "tx", t0, ctx.now_ns() - t0,
+                                        "outcome",
+                                        stats::abort_cause_name(tx.last_abort_cause()));
+        }
       } catch (...) {
         // Application exception: roll back, then let it escape.
         tx.handle_abort();

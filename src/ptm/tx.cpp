@@ -22,6 +22,7 @@ Tx::Tx(Runtime& rt, int worker)
 }
 
 void Tx::begin() {
+  stats::PhaseTimer pt(*ctx_, &c_->phases, stats::Phase::kBegin);
   start_time_ = rt_->orecs().sample_clock();
   n_log_ = 0;
   n_alloc_log_ = 0;
@@ -37,12 +38,14 @@ void Tx::begin() {
 
 uint64_t Tx::read_word(const uint64_t* waddr) {
   c_->reads++;
+  stats::PhaseTimer pt(*ctx_, &c_->phases, stats::Phase::kRead);
   return algo_ == Algo::kOrecLazy ? lazy_read(waddr) : eager_read(waddr);
 }
 
 void Tx::write_word(uint64_t* waddr, uint64_t val) {
   assert(rt_->pool().contains(waddr) && "transactional write outside the pool");
   c_->writes++;
+  stats::PhaseTimer pt(*ctx_, &c_->phases, stats::Phase::kWrite);
   if (algo_ == Algo::kOrecLazy) {
     lazy_write(waddr, val);
   } else {
@@ -88,6 +91,11 @@ void Tx::write_bytes(void* dst, const void* src, size_t len) {
 }
 
 void Tx::commit() {
+  // kCommit records *successful* commits only: if the commit path aborts,
+  // control unwinds past this record point and the attempt shows up in the
+  // abort-cause counters / kAbortBackoff instead.
+  const bool timed = stats::telemetry_enabled();
+  const uint64_t t0 = timed ? ctx_->now_ns() : 0;
   if (algo_ == Algo::kOrecLazy) {
     lazy_commit();
   } else {
@@ -96,9 +104,11 @@ void Tx::commit() {
   update_log_hwm();
   c_->commits++;
   attempt_ = 0;
+  if (timed) c_->phases.record(stats::Phase::kCommit, ctx_->now_ns() - t0);
 }
 
 void Tx::handle_abort() {
+  stats::PhaseTimer pt(*ctx_, &c_->phases, stats::Phase::kAbortBackoff);
   if (algo_ == Algo::kOrecEager) {
     eager_rollback();
   } else {
@@ -113,12 +123,14 @@ void Tx::handle_abort() {
   ctx_->advance(rng_.next_bounded((base << shift) + 1));
 }
 
-void Tx::abort_tx() {
+void Tx::abort_tx(stats::AbortCause cause) {
   c_->aborts++;
+  c_->aborts_by_cause[static_cast<size_t>(cause)]++;
+  last_abort_cause_ = cause;
   throw AbortTx{};
 }
 
-void Tx::abort_and_retry() { abort_tx(); }
+void Tx::abort_and_retry() { abort_tx(stats::AbortCause::kExplicit); }
 
 void* Tx::alloc(size_t n) {
   void* p = rt_->allocator().alloc(*ctx_, c_, n);
@@ -154,6 +166,7 @@ void Tx::dealloc(void* p) {
 
 void Tx::append_log(uint64_t off, uint64_t val) {
   if (n_log_ >= slot_.log_capacity) throw std::runtime_error("write log overflow");
+  stats::PhaseTimer pt(*ctx_, &c_->phases, stats::Phase::kLogAppend);
   nvm::Memory& mem = rt_->pool().mem();
   LogEntry* e = &slot_.log[n_log_];
   mem.store_word(*ctx_, c_, &e->off, LogEntry::pack(epoch_, off), nvm::Space::kLog);

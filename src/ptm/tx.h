@@ -117,6 +117,10 @@ class Tx {
   /// concurrent transaction may fix).
   [[noreturn]] void abort_and_retry();
 
+  /// Cause of the most recent abort (valid after an AbortTx unwound; used
+  /// by the runtime's retry loop for trace attribution).
+  stats::AbortCause last_abort_cause() const { return last_abort_cause_; }
+
  private:
   friend class Runtime;
   friend class Recovery;
@@ -131,7 +135,7 @@ class Tx {
   void begin();
   void commit();
   void handle_abort();  // rollback + backoff after AbortTx
-  [[noreturn]] void abort_tx();
+  [[noreturn]] void abort_tx(stats::AbortCause cause);
 
   // orec-lazy implementation (orec_lazy.cpp)
   uint64_t lazy_read(const uint64_t* waddr);
@@ -179,6 +183,7 @@ class Tx {
   std::vector<void*> tx_frees_;
 
   uint64_t attempt_ = 0;
+  stats::AbortCause last_abort_cause_ = stats::AbortCause::kExplicit;
   util::Rng rng_;
 };
 

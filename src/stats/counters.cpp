@@ -1,12 +1,24 @@
 #include "stats/counters.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace stats {
+
+const char* abort_cause_name(AbortCause c) {
+  switch (c) {
+    case AbortCause::kConflictRead: return "read_conflict";
+    case AbortCause::kConflictWrite: return "write_conflict";
+    case AbortCause::kValidation: return "validation";
+    case AbortCause::kExplicit: return "explicit";
+  }
+  return "?";
+}
 
 void TxCounters::add(const TxCounters& o) {
   commits += o.commits;
   aborts += o.aborts;
+  for (size_t i = 0; i < kNumAbortCauses; i++) aborts_by_cause[i] += o.aborts_by_cause[i];
   reads += o.reads;
   writes += o.writes;
   clwbs += o.clwbs;
@@ -22,6 +34,12 @@ void TxCounters::add(const TxCounters& o) {
   wpq_stall_ns += o.wpq_stall_ns;
   fence_wait_ns += o.fence_wait_ns;
   energy_pj += o.energy_pj;
+  phases.merge(o.phases);
+}
+
+double TxCounters::commit_abort_ratio() const {
+  if (aborts == 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(commits) / static_cast<double>(aborts);
 }
 
 TxCounters aggregate(const std::vector<TxCounters>& per_thread) {

@@ -5,16 +5,39 @@
 // about fence cost), redo-log footprint high-watermarks (§IV.B) — is
 // accumulated here. Counters are per-thread and unsynchronized; aggregation
 // happens after workers join.
+//
+// Beyond the flat sums, each TxCounters carries the telemetry layer's
+// per-phase latency histograms (populated only while
+// stats::telemetry_enabled()) and a per-cause abort breakdown, so the
+// distributional claims — lock-hold windows, WPQ stalls, conflict types —
+// are directly observable rather than inferred from throughput.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "stats/histogram.h"
+
 namespace stats {
+
+/// Why a transaction aborted. The single `aborts` sum remains the total;
+/// the per-cause array lets Tables I/II attribute degradation to read-time
+/// conflicts vs commit/encounter-time write conflicts vs validation
+/// failures (paper §III.B discusses exactly this split).
+enum class AbortCause : uint8_t {
+  kConflictRead = 0,  // orec locked/too-new when reading
+  kConflictWrite,     // orec conflict acquiring the write set
+  kValidation,        // read-set validation failed at commit
+  kExplicit,          // user-requested abort_and_retry()
+};
+inline constexpr size_t kNumAbortCauses = 4;
+
+const char* abort_cause_name(AbortCause c);
 
 struct TxCounters {
   uint64_t commits = 0;
   uint64_t aborts = 0;
+  uint64_t aborts_by_cause[kNumAbortCauses] = {};
   uint64_t reads = 0;
   uint64_t writes = 0;
   uint64_t clwbs = 0;
@@ -31,17 +54,32 @@ struct TxCounters {
   uint64_t fence_wait_ns = 0;       // simulated ns spent in sfence drains
   double energy_pj = 0;             // modelled dynamic energy (nvm::EnergyModel)
 
+  /// Per-phase latency histograms; empty unless telemetry_enabled().
+  PhaseHists phases;
+
   void add(const TxCounters& o);
   void reset() { *this = TxCounters{}; }
 
-  /// Commits per abort; returns 0 when there are no aborts (matches the
-  /// paper's tables, which print 0 for the single-thread column).
-  double commit_abort_ratio() const {
-    return aborts == 0 ? 0.0 : static_cast<double>(commits) / static_cast<double>(aborts);
+  uint64_t aborts_of(AbortCause c) const {
+    return aborts_by_cause[static_cast<size_t>(c)];
   }
+
+  /// Commits per abort. Sentinel: returns +infinity when there were no
+  /// aborts — "no aborts" is a *better* outcome than any finite ratio and
+  /// must not collapse onto 0 (which legitimately means "no commits").
+  /// Tables print the infinity case as "-" via util::fmt_ratio, matching
+  /// the paper's blank single-thread cells.
+  double commit_abort_ratio() const;
 };
 
-/// Sum a vector of per-thread counters.
+/// Sum a vector of per-thread counters (histograms merge bucket-wise).
 TxCounters aggregate(const std::vector<TxCounters>& per_thread);
+
+/// Record a phase latency if telemetry is on and a counter sink exists.
+/// The memory model uses this for WPQ-stall / fence-wait events, which are
+/// observed inside nvm::Memory rather than in Tx scope.
+inline void record_phase(TxCounters* c, Phase p, uint64_t ns) {
+  if (c != nullptr && telemetry_enabled()) c->phases.record(p, ns);
+}
 
 }  // namespace stats

@@ -1,0 +1,123 @@
+#include "stats/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace stats {
+
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char ch : s) {
+    const auto u = static_cast<unsigned char>(ch);
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          os << buf;
+        } else {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+void JsonWriter::pre_value() {
+  if (stack_.empty()) return;
+  Level& top = stack_.back();
+  if (top.kind == 'o') {
+    // The key() call already handled the comma; just consume the pending key.
+    top.have_key = false;
+    return;
+  }
+  if (top.any) os_ << ',';
+  top.any = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  pre_value();
+  os_ << '{';
+  stack_.push_back(Level{'o', false, false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  stack_.pop_back();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  pre_value();
+  os_ << '[';
+  stack_.push_back(Level{'a', false, false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  stack_.pop_back();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  Level& top = stack_.back();
+  if (top.any) os_ << ',';
+  top.any = true;
+  top.have_key = true;
+  write_json_string(os_, k);
+  os_ << ':';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  pre_value();
+  write_json_string(os_, v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  pre_value();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(uint64_t v) {
+  pre_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int64_t v) {
+  pre_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  pre_value();
+  if (!std::isfinite(v)) {
+    os_ << "null";
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  pre_value();
+  os_ << "null";
+  return *this;
+}
+
+}  // namespace stats

@@ -1,5 +1,63 @@
 #include "stats/report.h"
 
-// RunResult is a plain aggregate; logic lives inline in the header. This
-// translation unit exists so the module has a home for future out-of-line
-// additions and to keep the build list uniform.
+namespace stats {
+
+void write_histogram_summary(JsonWriter& w, const Histogram& h) {
+  w.begin_object();
+  w.kv("count", h.count());
+  w.kv("sum_ns", h.sum());
+  w.kv("mean_ns", h.mean());
+  w.kv("p50_ns", h.p50());
+  w.kv("p90_ns", h.p90());
+  w.kv("p99_ns", h.p99());
+  w.kv("max_ns", h.max());
+  w.end_object();
+}
+
+void write_run_result_fields(JsonWriter& w, const RunResult& r) {
+  w.kv("workload", r.workload);
+  w.kv("config", r.config);
+  w.kv("threads", r.threads);
+  w.kv("sim_ns", r.sim_ns);
+  w.kv("throughput_tx_per_sec", r.throughput_tx_per_sec());
+
+  const TxCounters& c = r.totals;
+  w.key("counters").begin_object();
+  w.kv("commits", c.commits);
+  w.kv("aborts", c.aborts);
+  w.kv("reads", c.reads);
+  w.kv("writes", c.writes);
+  w.kv("clwbs", c.clwbs);
+  w.kv("sfences", c.sfences);
+  w.kv("log_bytes", c.log_bytes);
+  w.kv("log_lines_hwm", c.log_lines_hwm);
+  w.kv("pmem_loads", c.pmem_loads);
+  w.kv("pmem_stores", c.pmem_stores);
+  w.kv("dram_cache_hits", c.dram_cache_hits);
+  w.kv("dram_cache_misses", c.dram_cache_misses);
+  w.kv("l3_hits", c.l3_hits);
+  w.kv("l3_misses", c.l3_misses);
+  w.kv("wpq_stall_ns", c.wpq_stall_ns);
+  w.kv("fence_wait_ns", c.fence_wait_ns);
+  w.kv("energy_pj", c.energy_pj);
+  w.end_object();
+
+  w.key("abort_causes").begin_object();
+  for (size_t i = 0; i < kNumAbortCauses; i++) {
+    w.kv(abort_cause_name(static_cast<AbortCause>(i)), c.aborts_by_cause[i]);
+  }
+  w.end_object();
+
+  // Only phases that recorded samples; an empty object means the run had
+  // telemetry off (flat counters only).
+  w.key("phases_ns").begin_object();
+  for (size_t i = 0; i < kNumPhases; i++) {
+    const auto p = static_cast<Phase>(i);
+    if (c.phases[p].count() == 0) continue;
+    w.key(phase_name(p));
+    write_histogram_summary(w, c.phases[p]);
+  }
+  w.end_object();
+}
+
+}  // namespace stats

@@ -1,11 +1,13 @@
 // Result record for one (workload, configuration, thread-count) benchmark
-// point, plus throughput math shared by all bench binaries.
+// point, plus throughput math shared by all bench binaries and the JSON
+// artifact serialization (docs/OBSERVABILITY.md documents the schema).
 #pragma once
 
 #include <cstdint>
 #include <string>
 
 #include "stats/counters.h"
+#include "stats/json_writer.h"
 
 namespace stats {
 
@@ -25,5 +27,15 @@ struct RunResult {
   /// Throughput scaled to Mtx/s for compact table cells.
   double throughput_mtx_per_sec() const { return throughput_tx_per_sec() / 1e6; }
 };
+
+/// Append this result's fields (workload/config/threads, throughput, flat
+/// counters, abort causes, per-phase p50/p90/p99 summaries) as keys of the
+/// JSON object currently open on `w`. The caller owns the object braces so
+/// it can prepend identification keys (bench title, curve label).
+void write_run_result_fields(JsonWriter& w, const RunResult& r);
+
+/// Phase summary helper, also used on its own by tests: writes an object
+/// {count,sum_ns,mean_ns,p50_ns,p90_ns,p99_ns,max_ns} for one histogram.
+void write_histogram_summary(JsonWriter& w, const Histogram& h);
 
 }  // namespace stats

@@ -1,0 +1,133 @@
+#include "stats/trace.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "stats/json_writer.h"
+
+namespace stats {
+
+Trace& Trace::instance() {
+  // Intentionally leaked: the REPRO_TRACE atexit writer (registered inside
+  // the constructor, i.e. *before* a local static's destructor would be)
+  // must still find the rings alive when it runs.
+  static Trace* t = new Trace();
+  return *t;
+}
+
+Trace::Trace() {
+  run_labels_.push_back("(pre-run)");
+  if (const char* path = std::getenv("REPRO_TRACE"); path != nullptr && path[0] != '\0') {
+    exit_path_ = path;
+    enable();
+    std::atexit(+[] {
+      Trace& t = Trace::instance();
+      if (!t.exit_path_.empty() && !t.write_file(t.exit_path_)) {
+        std::cerr << "REPRO_TRACE: failed to write " << t.exit_path_ << "\n";
+      }
+    });
+  }
+}
+
+void Trace::enable(size_t ring_capacity) {
+  cap_ = ring_capacity == 0 ? 1 : ring_capacity;
+  if (rings_.empty()) rings_.resize(kMaxWorkers);
+  enabled_ = true;
+}
+
+void Trace::clear() {
+  for (Ring& r : rings_) {
+    r.ev.clear();
+    r.next = 0;
+    r.wrapped = false;
+  }
+  run_labels_.assign(1, "(pre-run)");
+  cur_pid_ = 0;
+}
+
+int Trace::begin_run(std::string label) {
+  run_labels_.push_back(std::move(label));
+  cur_pid_ = static_cast<int>(run_labels_.size()) - 1;
+  return cur_pid_;
+}
+
+void Trace::span(int worker, const char* name, uint64_t start_ns, uint64_t dur_ns,
+                 const char* arg_key, const char* arg_val) {
+  if (!enabled_) return;
+  const size_t w = static_cast<size_t>(worker) < kMaxWorkers
+                       ? static_cast<size_t>(worker)
+                       : kMaxWorkers - 1;
+  Ring& r = rings_[w];
+  const Event e{name, arg_key, arg_val, start_ns, dur_ns, cur_pid_, worker};
+  if (r.ev.size() < cap_) {
+    r.ev.push_back(e);
+  } else {
+    r.ev[r.next] = e;
+    r.wrapped = true;
+  }
+  r.next = (r.next + 1) % cap_;
+}
+
+size_t Trace::event_count() const {
+  size_t n = 0;
+  for (const Ring& r : rings_) n += r.ev.size();
+  return n;
+}
+
+void Trace::write_json(std::ostream& os) const {
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("displayTimeUnit", "ns");
+  w.key("traceEvents").begin_array();
+
+  // Process-name metadata: one per begun run (skip the placeholder pid 0
+  // unless something actually recorded under it).
+  for (size_t pid = 0; pid < run_labels_.size(); pid++) {
+    w.begin_object();
+    w.kv("name", "process_name");
+    w.kv("ph", "M");
+    w.kv("pid", static_cast<int>(pid));
+    w.key("args").begin_object();
+    w.kv("name", run_labels_[pid]);
+    w.end_object();
+    w.end_object();
+  }
+
+  for (const Ring& r : rings_) {
+    const size_t n = r.ev.size();
+    // Oldest-first: a wrapped ring starts at `next`.
+    const size_t start = r.wrapped ? r.next : 0;
+    for (size_t i = 0; i < n; i++) {
+      const Event& e = r.ev[(start + i) % n];
+      w.begin_object();
+      w.kv("name", e.name);
+      w.kv("cat", "ptm");
+      w.kv("ph", "X");
+      // trace_event timestamps are microseconds; keep ns precision.
+      w.kv("ts", static_cast<double>(e.ts_ns) / 1000.0);
+      w.kv("dur", static_cast<double>(e.dur_ns) / 1000.0);
+      w.kv("pid", e.pid);
+      w.kv("tid", e.tid);
+      if (e.arg_key != nullptr) {
+        w.key("args").begin_object();
+        w.kv(e.arg_key, e.arg_val != nullptr ? e.arg_val : "");
+        w.end_object();
+      }
+      w.end_object();
+    }
+  }
+
+  w.end_array();
+  w.end_object();
+  os << "\n";
+}
+
+bool Trace::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_json(f);
+  return f.good();
+}
+
+}  // namespace stats

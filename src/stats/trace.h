@@ -1,0 +1,88 @@
+// Chrome trace_event recorder for transaction lifecycle inspection.
+//
+// When enabled (REPRO_TRACE=<file>, or Trace::enable() from tests), the
+// runtime and the memory model emit duration spans — one per transaction
+// attempt ("tx", with its outcome: commit or the abort cause), plus
+// "wpq_stall" and "fence_wait" spans from inside nvm::Memory — into
+// per-worker ring buffers. Rings are fixed-capacity and overwrite the
+// oldest events, so tracing a long run keeps the *tail*, which is where
+// saturation effects live. At process exit (or via write_file) the rings
+// are serialized as Chrome trace JSON, loadable in chrome://tracing or
+// https://ui.perfetto.dev.
+//
+// Mapping: each benchmark point (workload/config/threads) becomes one
+// trace "process" (pid) named via begin_run(); workers are threads (tid).
+// Simulated time restarts at zero per run, which the per-pid grouping
+// keeps readable in the viewer.
+//
+// Concurrency: recording is per-worker-ring and the discrete-event engine
+// runs one worker at a time; real-thread tests are safe because worker ids
+// are distinct. begin_run/enable are driver-side, not from workers.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace stats {
+
+class Trace {
+ public:
+  static constexpr size_t kDefaultRingCapacity = 1 << 16;  // events per worker
+  static constexpr size_t kMaxWorkers = 256;
+
+  static Trace& instance();
+
+  /// Fast global check for record sites.
+  static bool on() { return instance().enabled_; }
+
+  void enable(size_t ring_capacity = kDefaultRingCapacity);
+  void disable() { enabled_ = false; }
+  void clear();
+
+  /// Open a new trace process group (one benchmark point). Returns its pid.
+  int begin_run(std::string label);
+
+  /// Record one complete span. `name`, `arg_key`, `arg_val` must be
+  /// string literals / static storage (the ring stores pointers).
+  void span(int worker, const char* name, uint64_t start_ns, uint64_t dur_ns,
+            const char* arg_key = nullptr, const char* arg_val = nullptr);
+
+  /// Serialize every recorded event as Chrome trace JSON.
+  void write_json(std::ostream& os) const;
+
+  /// Write to `path`; returns false (and keeps the process alive) on I/O
+  /// failure — telemetry must never take down a benchmark.
+  bool write_file(const std::string& path) const;
+
+  size_t event_count() const;
+
+ private:
+  Trace();
+
+  struct Event {
+    const char* name;
+    const char* arg_key;
+    const char* arg_val;
+    uint64_t ts_ns;
+    uint64_t dur_ns;
+    int pid;
+    int tid;
+  };
+
+  struct Ring {
+    std::vector<Event> ev;  // grows to capacity, then wraps
+    size_t next = 0;
+    bool wrapped = false;
+  };
+
+  bool enabled_ = false;
+  size_t cap_ = kDefaultRingCapacity;
+  std::string exit_path_;             // from REPRO_TRACE; written via atexit
+  int cur_pid_ = 0;                   // pid 0 = events before any begin_run
+  std::vector<std::string> run_labels_;
+  std::vector<Ring> rings_;
+};
+
+}  // namespace stats

@@ -1,6 +1,7 @@
 #include "util/table.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <stdexcept>
 
@@ -54,6 +55,11 @@ std::string fmt(double v, int prec) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
   return buf;
+}
+
+std::string fmt_ratio(double v, int prec) {
+  if (std::isinf(v)) return "-";
+  return fmt(v, prec);
 }
 
 std::string fmt_count(uint64_t v) {

@@ -34,6 +34,10 @@ class TextTable {
 /// Format a double with `prec` digits after the decimal point.
 std::string fmt(double v, int prec = 2);
 
+/// Format a ratio cell: like fmt(), but +infinity renders as "-" (the
+/// commit_abort_ratio sentinel for "no aborts" — see stats::TxCounters).
+std::string fmt_ratio(double v, int prec = 2);
+
 /// Format an integer with thousands separators ("12,345,678").
 std::string fmt_count(uint64_t v);
 

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "stats/trace.h"
+
 namespace workloads {
 
 double ops_scale() {
@@ -36,6 +38,13 @@ stats::RunResult run_point(const WorkloadFactory& factory, const RunPoint& p) {
   pool.mem().prewarm_directory(0, used_bytes / nvm::Memory::kLineBytes);
   if (const uint64_t vlines = w->virtual_lines_used(); vlines > 0) {
     pool.mem().prewarm_directory(pool.mem().virtual_line_base(), vlines);
+  }
+
+  // Each benchmark point is one trace "process": simulated time restarts
+  // at zero per point, and the per-pid grouping keeps the viewer readable.
+  if (stats::Trace::on()) {
+    stats::Trace::instance().begin_run(w->name() + "/" + cfg.name() + "/t" +
+                                       std::to_string(p.threads));
   }
 
   sim::Engine engine(p.threads);

@@ -200,6 +200,72 @@ TEST_P(PtmTest, ExplicitAbortRetries) {
   EXPECT_EQ(attempts, 3);
   EXPECT_EQ(root()->a, 1u);
   EXPECT_EQ(fx_.rt.counters(0).aborts, 2u);
+  EXPECT_EQ(fx_.rt.counters(0).aborts_of(stats::AbortCause::kExplicit), 2u);
+}
+
+TEST_P(PtmTest, ReadConflictIsAttributed) {
+  root()->a = 7;
+  // Lock a's orec as a foreign owner; release it from inside the body once
+  // the first attempt has aborted. The released version is current-clock,
+  // so a retry (which samples the clock at begin) can read past it.
+  auto& orec = fx_.rt.orecs().for_addr(&root()->a);
+  orec.store(ptm::OrecTable::lock_word(99));
+  int attempts = 0;
+  fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) {
+    attempts++;
+    if (attempts >= 2) {
+      orec.store(ptm::OrecTable::version_word(fx_.rt.orecs().sample_clock()));
+    }
+    EXPECT_EQ(tx.read(&root()->a), 7u);
+  });
+  EXPECT_GE(attempts, 2);
+  const auto& c = fx_.rt.counters(0);
+  EXPECT_GE(c.aborts_of(stats::AbortCause::kConflictRead), 1u);
+  EXPECT_EQ(c.aborts_of(stats::AbortCause::kConflictRead), c.aborts);
+}
+
+TEST_P(PtmTest, WriteConflictIsAttributed) {
+  // Same foreign lock, but the transaction *writes* the word: eager hits
+  // it at encounter time, lazy at commit-time acquisition — both must
+  // attribute the abort to a write conflict.
+  auto& orec = fx_.rt.orecs().for_addr(&root()->b);
+  orec.store(ptm::OrecTable::lock_word(99));
+  int attempts = 0;
+  fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) {
+    attempts++;
+    if (attempts >= 2) {
+      orec.store(ptm::OrecTable::version_word(fx_.rt.orecs().sample_clock()));
+    }
+    tx.write(&root()->b, uint64_t{5});
+  });
+  EXPECT_GE(attempts, 2);
+  EXPECT_EQ(root()->b, 5u);
+  const auto& c = fx_.rt.counters(0);
+  EXPECT_GE(c.aborts_of(stats::AbortCause::kConflictWrite), 1u);
+  EXPECT_EQ(c.aborts_of(stats::AbortCause::kConflictWrite), c.aborts);
+}
+
+TEST_P(PtmTest, ValidationFailureIsAttributed) {
+  root()->a = 3;
+  // Read a, write b, then bump a's orec version (as a concurrent committer
+  // would) before our commit: the write version no longer equals
+  // start_time+1, forcing read-set validation, which must fail and be
+  // attributed to kValidation.
+  auto& oa = fx_.rt.orecs().for_addr(&root()->a);
+  int attempts = 0;
+  fx_.rt.run(fx_.ctx, [&](ptm::Tx& tx) {
+    attempts++;
+    EXPECT_EQ(tx.read(&root()->a), 3u);
+    tx.write(&root()->b, uint64_t{9});
+    if (attempts == 1) {
+      oa.store(ptm::OrecTable::version_word(fx_.rt.orecs().tick()));
+    }
+  });
+  EXPECT_GE(attempts, 2);
+  EXPECT_EQ(root()->b, 9u);
+  const auto& c = fx_.rt.counters(0);
+  EXPECT_EQ(c.aborts_of(stats::AbortCause::kValidation), 1u);
+  EXPECT_EQ(c.aborts, 1u);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,367 @@
+// Telemetry layer: log2 histograms, phase timers, abort attribution,
+// JSON emission, and the trace recorder. The JsonWriter tests assert
+// exact strings — the writer is deliberately deterministic so artifacts
+// stay diffable.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "ptm/runtime.h"
+#include "sim/engine.h"
+#include "stats/counters.h"
+#include "stats/histogram.h"
+#include "stats/json_writer.h"
+#include "stats/report.h"
+#include "stats/trace.h"
+#include "test_common.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+/// Every test that flips the global telemetry switch restores it, so test
+/// order cannot leak state.
+struct TelemetryGuard {
+  bool saved = stats::telemetry_enabled();
+  explicit TelemetryGuard(bool on) { stats::set_telemetry_enabled(on); }
+  ~TelemetryGuard() { stats::set_telemetry_enabled(saved); }
+};
+
+// ---------------------------------------------------------------- Histogram
+
+TEST(Histogram, EmptyReportsZeros) {
+  stats::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(50), 0u);
+  EXPECT_EQ(h.p99(), 0u);
+}
+
+TEST(Histogram, BucketBoundaries) {
+  // bucket 0 = {0}, bucket k = [2^(k-1), 2^k).
+  stats::Histogram h;
+  h.record(0);
+  h.record(1);
+  h.record(2);
+  h.record(3);
+  h.record(4);
+  h.record(~uint64_t{0});
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);  // {1}
+  EXPECT_EQ(h.bucket_count(2), 2u);  // {2,3}
+  EXPECT_EQ(h.bucket_count(3), 1u);  // {4..7}
+  EXPECT_EQ(h.bucket_count(64), 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.max(), ~uint64_t{0});
+  EXPECT_EQ(stats::Histogram::bucket_lo(3), 4u);
+  EXPECT_EQ(stats::Histogram::bucket_hi(3), 7u);
+  EXPECT_EQ(stats::Histogram::bucket_hi(0), 0u);
+  EXPECT_EQ(stats::Histogram::bucket_hi(64), ~uint64_t{0});
+}
+
+TEST(Histogram, SingleValuePercentilesClampToMax) {
+  stats::Histogram h;
+  h.record(5);  // bucket 3 spans [4,7]; the clamp reports the observed 5
+  EXPECT_EQ(h.percentile(0), 5u);
+  EXPECT_EQ(h.p50(), 5u);
+  EXPECT_EQ(h.p99(), 5u);
+  EXPECT_EQ(h.max(), 5u);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+}
+
+TEST(Histogram, PercentilesOnUniformRange) {
+  stats::Histogram h;
+  for (uint64_t v = 1; v <= 100; v++) h.record(v);
+  // p50 = 50th sample = value 50 → bucket 6 ([32,63]) → hi 63.
+  EXPECT_EQ(h.p50(), 63u);
+  // p90 = 90th sample = 90 → bucket 7 ([64,127]) → hi clamped to max 100.
+  EXPECT_EQ(h.p90(), 100u);
+  EXPECT_EQ(h.p99(), 100u);
+  EXPECT_EQ(h.sum(), 5050u);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+}
+
+TEST(Histogram, MergeIsBucketwiseSum) {
+  stats::Histogram a, b;
+  for (uint64_t v = 1; v <= 50; v++) a.record(v);
+  for (uint64_t v = 51; v <= 100; v++) b.record(v);
+  a.merge(b);
+  stats::Histogram whole;
+  for (uint64_t v = 1; v <= 100; v++) whole.record(v);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_EQ(a.sum(), whole.sum());
+  EXPECT_EQ(a.max(), whole.max());
+  for (int i = 0; i < stats::Histogram::kBuckets; i++) {
+    EXPECT_EQ(a.bucket_count(i), whole.bucket_count(i)) << "bucket " << i;
+  }
+  EXPECT_EQ(a.p50(), whole.p50());
+}
+
+TEST(Histogram, PhaseNamesAreDistinct) {
+  for (size_t i = 0; i < stats::kNumPhases; i++) {
+    for (size_t j = i + 1; j < stats::kNumPhases; j++) {
+      EXPECT_STRNE(stats::phase_name(static_cast<stats::Phase>(i)),
+                   stats::phase_name(static_cast<stats::Phase>(j)));
+    }
+  }
+}
+
+// --------------------------------------------------------------- PhaseTimer
+
+TEST(PhaseTimer, RecordsOnlyWhenTelemetryEnabled) {
+  sim::RealContext ctx;
+  stats::PhaseHists ph;
+  {
+    TelemetryGuard g(false);
+    stats::PhaseTimer t(ctx, &ph, stats::Phase::kRead);
+    ctx.advance(100);
+  }
+  EXPECT_EQ(ph[stats::Phase::kRead].count(), 0u);
+  {
+    TelemetryGuard g(true);
+    stats::PhaseTimer t(ctx, &ph, stats::Phase::kRead);
+    ctx.advance(100);
+  }
+  EXPECT_EQ(ph[stats::Phase::kRead].count(), 1u);
+  EXPECT_EQ(ph[stats::Phase::kRead].sum(), 100u);
+  {
+    TelemetryGuard g(true);
+    stats::PhaseTimer t(ctx, &ph, stats::Phase::kRead);
+    ctx.advance(7);
+    t.cancel();
+  }
+  EXPECT_EQ(ph[stats::Phase::kRead].count(), 1u);  // cancelled, not recorded
+}
+
+// --------------------------------------------------------------- TxCounters
+
+TEST(TxCounters, AddSumsCausesAndMergesPhases) {
+  stats::TxCounters a, b;
+  a.commits = 3;
+  a.aborts = 2;
+  a.aborts_by_cause[static_cast<size_t>(stats::AbortCause::kConflictRead)] = 2;
+  a.phases.record(stats::Phase::kCommit, 10);
+  b.commits = 4;
+  b.aborts = 1;
+  b.aborts_by_cause[static_cast<size_t>(stats::AbortCause::kValidation)] = 1;
+  b.phases.record(stats::Phase::kCommit, 30);
+  a.add(b);
+  EXPECT_EQ(a.commits, 7u);
+  EXPECT_EQ(a.aborts, 3u);
+  EXPECT_EQ(a.aborts_of(stats::AbortCause::kConflictRead), 2u);
+  EXPECT_EQ(a.aborts_of(stats::AbortCause::kValidation), 1u);
+  EXPECT_EQ(a.phases[stats::Phase::kCommit].count(), 2u);
+  EXPECT_EQ(a.phases[stats::Phase::kCommit].sum(), 40u);
+
+  const auto total = stats::aggregate({a, b});
+  EXPECT_EQ(total.commits, 11u);
+  EXPECT_EQ(total.phases[stats::Phase::kCommit].count(), 3u);
+}
+
+TEST(TxCounters, CommitAbortRatioSentinel) {
+  stats::TxCounters c;
+  c.commits = 10;
+  EXPECT_TRUE(std::isinf(c.commit_abort_ratio()));  // no aborts: sentinel
+  EXPECT_EQ(util::fmt_ratio(c.commit_abort_ratio()), "-");
+  c.aborts = 4;
+  EXPECT_DOUBLE_EQ(c.commit_abort_ratio(), 2.5);
+  EXPECT_EQ(util::fmt_ratio(c.commit_abort_ratio()), "2.50");
+  c.commits = 0;  // no commits but aborts: a genuine 0, not the sentinel
+  EXPECT_DOUBLE_EQ(c.commit_abort_ratio(), 0.0);
+}
+
+// --------------------------------------------------------------- JsonWriter
+
+TEST(JsonWriter, ExactObjectAndArrayOutput) {
+  std::ostringstream os;
+  stats::JsonWriter w(os);
+  w.begin_object();
+  w.kv("a", 1);
+  w.key("b").begin_array();
+  w.value(uint64_t{2}).value("x").value(true);
+  w.end_array();
+  w.key("c").begin_object().end_object();
+  w.end_object();
+  EXPECT_EQ(os.str(), R"({"a":1,"b":[2,"x",true],"c":{}})");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  std::ostringstream os;
+  stats::write_json_string(os, "a\"b\\c\n\t\x01");
+  EXPECT_EQ(os.str(), "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  std::ostringstream os;
+  stats::JsonWriter w(os);
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::nan(""));
+  w.value(2.5);
+  w.end_array();
+  EXPECT_EQ(os.str(), "[null,null,2.5]");
+}
+
+TEST(JsonWriter, HistogramSummaryParsesBack) {
+  stats::Histogram h;
+  for (uint64_t v = 1; v <= 100; v++) h.record(v);
+  std::ostringstream os;
+  stats::JsonWriter w(os);
+  stats::write_histogram_summary(w, h);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"count\":100"), std::string::npos) << s;
+  EXPECT_NE(s.find("\"sum_ns\":5050"), std::string::npos) << s;
+  EXPECT_NE(s.find("\"p50_ns\":63"), std::string::npos) << s;
+  EXPECT_NE(s.find("\"p99_ns\":100"), std::string::npos) << s;
+  EXPECT_NE(s.find("\"max_ns\":100"), std::string::npos) << s;
+}
+
+TEST(JsonWriter, RunResultFieldsIncludeCausesAndPhases) {
+  TelemetryGuard g(true);
+  stats::RunResult r;
+  r.workload = "wl";
+  r.config = "cfg";
+  r.threads = 2;
+  r.sim_ns = 1000;
+  r.totals.commits = 5;
+  r.totals.aborts = 1;
+  r.totals.aborts_by_cause[static_cast<size_t>(stats::AbortCause::kExplicit)] = 1;
+  r.totals.phases.record(stats::Phase::kCommit, 42);
+  std::ostringstream os;
+  stats::JsonWriter w(os);
+  w.begin_object();
+  stats::write_run_result_fields(w, r);
+  w.end_object();
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"workload\":\"wl\""), std::string::npos) << s;
+  EXPECT_NE(s.find("\"abort_causes\""), std::string::npos) << s;
+  EXPECT_NE(s.find("\"explicit\":1"), std::string::npos) << s;
+  EXPECT_NE(s.find("\"commit\":{"), std::string::npos) << s;
+  // Phases with no samples are omitted from the artifact.
+  EXPECT_EQ(s.find("\"wpq_stall\""), std::string::npos) << s;
+}
+
+// --------------------------------------------------- PTM-integrated telemetry
+
+TEST(Telemetry, PhasesPopulatedDuringTransactions) {
+  TelemetryGuard g(true);
+  test::Fixture fx(test::small_cfg(nvm::Domain::kAdr));
+  auto* root = fx.pool.root<uint64_t>();
+  for (int i = 0; i < 5; i++) {
+    fx.rt.run(fx.ctx, [&](ptm::Tx& tx) {
+      tx.write(root, tx.read(root) + 1);
+    });
+  }
+  const auto& ph = fx.rt.counters(0).phases;
+  EXPECT_EQ(ph[stats::Phase::kBegin].count(), 5u);
+  EXPECT_EQ(ph[stats::Phase::kCommit].count(), 5u);  // success-only
+  EXPECT_EQ(ph[stats::Phase::kRead].count(), 5u);
+  EXPECT_EQ(ph[stats::Phase::kWrite].count(), 5u);
+  EXPECT_GT(ph[stats::Phase::kCommit].sum(), 0u);    // ADR commits cost time
+  EXPECT_GT(ph[stats::Phase::kFlushDrain].count(), 0u);
+}
+
+TEST(Telemetry, DisabledRecordsNothing) {
+  TelemetryGuard g(false);
+  test::Fixture fx(test::small_cfg(nvm::Domain::kAdr));
+  auto* root = fx.pool.root<uint64_t>();
+  fx.rt.run(fx.ctx, [&](ptm::Tx& tx) { tx.write(root, uint64_t{1}); });
+  for (size_t i = 0; i < stats::kNumPhases; i++) {
+    EXPECT_EQ(fx.rt.counters(0).phases.h[i].count(), 0u);
+  }
+  EXPECT_EQ(fx.rt.counters(0).commits, 1u);  // flat counters still work
+}
+
+TEST(Telemetry, DesContentionAttributesEveryAbort) {
+  TelemetryGuard g(true);
+  auto cfg = test::small_cfg(nvm::Domain::kAdr);
+  for (auto algo : {ptm::Algo::kOrecLazy, ptm::Algo::kOrecEager}) {
+    nvm::Pool pool(cfg);
+    ptm::Runtime rt(pool, algo);
+    auto* root = pool.root<uint64_t>();
+    constexpr int kWorkers = 6;
+    constexpr int kIncs = 200;
+    sim::Engine engine(kWorkers);
+    engine.run([&](sim::ExecContext& ctx) {
+      for (int i = 0; i < kIncs; i++) {
+        rt.run(ctx, [&](ptm::Tx& tx) { tx.write(root, tx.read(root) + 1); });
+      }
+    });
+    const auto t = stats::aggregate(rt.snapshot_counters());
+    EXPECT_EQ(t.commits, static_cast<uint64_t>(kWorkers) * kIncs);
+    EXPECT_GT(t.aborts, 0u);
+    uint64_t by_cause = 0;
+    for (size_t i = 0; i < stats::kNumAbortCauses; i++) by_cause += t.aborts_by_cause[i];
+    EXPECT_EQ(by_cause, t.aborts);  // every abort has exactly one cause
+    EXPECT_EQ(t.aborts_of(stats::AbortCause::kExplicit), 0u);
+    EXPECT_EQ(t.phases[stats::Phase::kCommit].count(), t.commits);
+    EXPECT_EQ(t.phases[stats::Phase::kAbortBackoff].count(), t.aborts);
+  }
+}
+
+// -------------------------------------------------------------------- Trace
+
+TEST(Trace, RecordsSpansAndWritesChromeJson) {
+  auto& tr = stats::Trace::instance();
+  tr.clear();
+  tr.enable();
+  const int pid = tr.begin_run("unit/cfg/t1");
+  EXPECT_EQ(pid, 1);
+  tr.span(0, "tx", 100, 50, "outcome", "commit");
+  tr.span(1, "fence_wait", 120, 10);
+  EXPECT_EQ(tr.event_count(), 2u);
+
+  std::ostringstream os;
+  tr.write_json(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(s.find("\"unit/cfg/t1\""), std::string::npos);
+  EXPECT_NE(s.find("\"outcome\":\"commit\""), std::string::npos);
+  EXPECT_NE(s.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(s.find("\"ts\":0.1"), std::string::npos);  // 100ns = 0.1us
+
+  tr.disable();
+  tr.clear();
+}
+
+TEST(Trace, RingKeepsNewestEvents) {
+  auto& tr = stats::Trace::instance();
+  tr.clear();
+  tr.enable(/*ring_capacity=*/4);
+  for (uint64_t i = 0; i < 10; i++) tr.span(0, "tx", i * 100, 10);
+  EXPECT_EQ(tr.event_count(), 4u);
+  std::ostringstream os;
+  tr.write_json(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"ts\":0.9"), std::string::npos);   // event 9 kept
+  EXPECT_EQ(s.find("\"ts\":0.5,"), std::string::npos);  // event 5 overwritten
+  tr.disable();
+  tr.clear();
+}
+
+TEST(Trace, RuntimeEmitsOneSpanPerAttempt) {
+  auto& tr = stats::Trace::instance();
+  tr.clear();
+  tr.enable();
+  test::Fixture fx(test::small_cfg(nvm::Domain::kAdr));
+  auto* root = fx.pool.root<uint64_t>();
+  int attempts = 0;
+  fx.rt.run(fx.ctx, [&](ptm::Tx& tx) {
+    attempts++;
+    tx.write(root, uint64_t{1});
+    if (attempts < 2) tx.abort_and_retry();
+  });
+  std::ostringstream os;
+  tr.write_json(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"outcome\":\"commit\""), std::string::npos) << s;
+  EXPECT_NE(s.find("\"outcome\":\"explicit\""), std::string::npos) << s;
+  tr.disable();
+  tr.clear();
+}
+
+}  // namespace
