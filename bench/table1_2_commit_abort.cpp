@@ -13,8 +13,11 @@
 //
 // Alongside each ratio table we print the raw commit/abort counts and the
 // abort-cause attribution (read conflict / write conflict / validation /
-// explicit), which shows *why* the ratios degrade: redo aborts shift to
-// commit-time write conflicts, undo aborts to encounter-time ones.
+// explicit / capacity), which shows *why* the ratios degrade: redo aborts
+// shift to commit-time write conflicts, undo aborts to encounter-time ones.
+// The capacity column should stay 0 on paper-default configurations — a
+// nonzero count means the per-worker logs are undersized for the workload
+// and the measured fence counts include log-growth machinery.
 #include "bench_common.h"
 #include "workloads/tpcc.h"
 
@@ -32,7 +35,7 @@ void one_table(const char* title, ptm::Algo algo) {
   for (int t : bench::thread_sweep()) header.push_back(std::to_string(t));
   util::TextTable ratios(header);
   util::TextTable raw(header);     // commits:aborts
-  util::TextTable causes(header);  // read/write/validation/explicit
+  util::TextTable causes(header);  // read/write/validation/explicit/capacity
 
   for (const auto& c : curves) {
     std::vector<std::string> row{c.label};
@@ -61,7 +64,8 @@ void one_table(const char* title, ptm::Algo algo) {
           std::to_string(t.aborts_of(stats::AbortCause::kConflictRead)) + "/" +
           std::to_string(t.aborts_of(stats::AbortCause::kConflictWrite)) + "/" +
           std::to_string(t.aborts_of(stats::AbortCause::kValidation)) + "/" +
-          std::to_string(t.aborts_of(stats::AbortCause::kExplicit)));
+          std::to_string(t.aborts_of(stats::AbortCause::kExplicit)) + "/" +
+          std::to_string(t.aborts_of(stats::AbortCause::kCapacity)));
       bench::Output::instance().add_result(title, c.label, r);
       std::cout << "." << std::flush;
     }
@@ -73,7 +77,8 @@ void one_table(const char* title, ptm::Algo algo) {
   out.table(title, ratios);
   out.table(std::string(title) + " — raw commits:aborts", raw);
   out.table(std::string(title) +
-                " — aborts by cause (read-conflict/write-conflict/validation/explicit)",
+                " — aborts by cause "
+                "(read-conflict/write-conflict/validation/explicit/capacity)",
             causes);
 }
 

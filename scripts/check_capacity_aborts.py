@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Fail if any REPRO_JSON artifact reports capacity aborts.
+
+Capacity aborts (abort_causes.capacity) mean a transaction outgrew its
+per-worker log or write index and the runtime had to grow it mid-run. That
+is correct behavior, but on the paper-default benchmark configurations it
+must never happen: the logs are sized for the workloads, and a nonzero
+count means the measured commit/abort ratios and fence counts include
+log-growth machinery the paper's numbers do not. CI runs this over the
+bench-smoke artifacts to catch accidental log-sizing regressions.
+
+Usage: check_capacity_aborts.py ARTIFACT.json [ARTIFACT.json ...]
+Exit status: 0 if all clean, 1 if any point has capacity aborts (or an
+artifact cannot be parsed).
+"""
+import json
+import sys
+
+
+def check(path):
+    """Returns a list of offending (bench, label, threads, count) tuples."""
+    with open(path) as f:
+        doc = json.load(f)
+    bad = []
+    for point in doc.get("results", []):
+        count = point.get("abort_causes", {}).get("capacity", 0)
+        if count:
+            bad.append((point.get("bench", "?"), point.get("label", "?"),
+                        point.get("threads", "?"), count))
+    return bad
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        try:
+            bad = check(path)
+        except (OSError, ValueError) as e:
+            print(f"{path}: cannot read artifact: {e}", file=sys.stderr)
+            failed = True
+            continue
+        if bad:
+            failed = True
+            for bench, label, threads, count in bad:
+                print(f"{path}: {count} capacity abort(s) in "
+                      f"[{bench}] {label} @ {threads} threads", file=sys.stderr)
+        else:
+            print(f"{path}: no capacity aborts")
+    if failed:
+        print("capacity aborts on default configs indicate undersized "
+              "per-worker logs (see docs/LOGGING.md)", file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -19,10 +19,12 @@
 // loads/stores inherent to STM are free of C++ data races.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <cstring>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "nvm/cache_model.h"
@@ -132,6 +134,13 @@ class Memory {
   /// True once an armed crash has fired.
   bool crashed() const { return frozen_.load(std::memory_order_acquire); }
 
+  /// Persistence events executed so far (crash_sim only; 0 otherwise).
+  /// Crash sweeps use this to measure a scenario's event count in a dry
+  /// run, then arm_crash_after(k) for every k in [1, count].
+  uint64_t persistence_events() const {
+    return event_count_.load(std::memory_order_relaxed);
+  }
+
   // ----- geometry ---------------------------------------------------------
 
   /// Tell the model which line range holds the PTM per-thread logs (so
@@ -139,6 +148,18 @@ class Memory {
   void set_log_line_range(uint64_t lo, uint64_t hi) {
     log_line_lo_ = lo;
     log_line_hi_ = hi;
+  }
+
+  /// Register an additional log line range (overflow log segments are heap
+  /// allocations, discontiguous from the worker-meta region). Best-effort:
+  /// the table is fixed-size and further ranges are silently dropped — the
+  /// classification is a media-routing hint (PDRAM-Lite), never a
+  /// correctness input.
+  void add_log_line_range(uint64_t lo, uint64_t hi) {
+    const size_t i = n_extra_log_ranges_.load(std::memory_order_relaxed);
+    if (i >= kMaxExtraLogRanges) return;
+    extra_log_ranges_[i] = {lo, hi};
+    n_extra_log_ranges_.store(i + 1, std::memory_order_release);
   }
 
   uint64_t line_of(const void* addr) const {
@@ -182,6 +203,7 @@ class Memory {
   void track_store(const void* addr, size_t len);
 
   void maybe_crash_event() {
+    if (cfg_.crash_sim) event_count_.fetch_add(1, std::memory_order_relaxed);
     if (!armed_.load(std::memory_order_acquire)) return;
     crash_event_slow();
   }
@@ -198,7 +220,15 @@ class Memory {
     return m == Media::kDram ? dram_write_ : optane_write_;
   }
 
-  bool is_log_line(uint64_t line) const { return line >= log_line_lo_ && line < log_line_hi_; }
+  bool is_log_line(uint64_t line) const {
+    if (line >= log_line_lo_ && line < log_line_hi_) return true;
+    const size_t n = n_extra_log_ranges_.load(std::memory_order_acquire);
+    for (size_t i = 0; i < n; i++) {
+      if (line >= extra_log_ranges_[i].first && line < extra_log_ranges_[i].second)
+        return true;
+    }
+    return false;
+  }
 
   const SystemConfig cfg_;
   EnergyModel energy_;
@@ -214,6 +244,10 @@ class Memory {
   BandwidthChannel dram_read_, dram_write_, optane_read_, optane_write_;
 
   uint64_t log_line_lo_ = 0, log_line_hi_ = 0;
+  static constexpr size_t kMaxExtraLogRanges = 256;
+  std::array<std::pair<uint64_t, uint64_t>, kMaxExtraLogRanges> extra_log_ranges_{};
+  std::atomic<size_t> n_extra_log_ranges_{0};
+  std::atomic<uint64_t> event_count_{0};
 
   // Crash-simulation state (guarded: real-thread tests may race on it).
   std::mutex track_mu_;

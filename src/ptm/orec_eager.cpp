@@ -127,8 +127,9 @@ void Tx::eager_rollback() {
   // Restore old values in reverse order (later entries may shadow earlier
   // writes to the same word).
   for (size_t i = n_log_; i-- > 0;) {
-    auto* home = static_cast<uint64_t*>(pool.at(LogEntry::offset_of(slot_.log[i].off)));
-    mem.store_word(*ctx_, c_, home, slot_.log[i].val, nvm::Space::kData);
+    const LogEntry* e = slot_.entry_at(i);
+    auto* home = static_cast<uint64_t*>(pool.at(LogEntry::offset_of(e->off)));
+    mem.store_word(*ctx_, c_, home, e->val, nvm::Space::kData);
   }
   for (const uint64_t line : dirty_.lines()) {
     mem.clwb(*ctx_, c_, pool.base() + line * nvm::Memory::kLineBytes);

@@ -19,7 +19,9 @@ uint64_t Tx::lazy_read(const uint64_t* waddr) {
   const int64_t idx = windex_.lookup(off);
   if (idx >= 0) {
     // The log record lives in PMEM; model the (usually L3-hot) access.
-    return pool.mem().load_word(*ctx_, c_, &slot_.log[idx].val, nvm::Space::kLog);
+    return pool.mem().load_word(*ctx_, c_,
+                                &slot_.entry_at(static_cast<size_t>(idx))->val,
+                                nvm::Space::kLog);
   }
 
   std::atomic<uint64_t>& orec = rt_->orecs().for_addr(waddr);
@@ -39,10 +41,14 @@ void Tx::lazy_write(uint64_t* waddr, uint64_t val) {
   const int64_t idx = windex_.lookup(off);
   if (idx >= 0) {
     // Update in place in the log (latest value wins at write-back).
-    rt_->pool().mem().store_word(*ctx_, c_, &slot_.log[idx].val, val, nvm::Space::kLog);
+    rt_->pool().mem().store_word(*ctx_, c_,
+                                 &slot_.entry_at(static_cast<size_t>(idx))->val, val,
+                                 nvm::Space::kLog);
     return;
   }
-  windex_.insert(off, static_cast<int64_t>(n_log_));
+  if (!windex_.insert(off, static_cast<int64_t>(n_log_))) {
+    capacity_abort(CapacityKind::kWriteIndex);
+  }
   append_log(off, val);
 }
 
@@ -62,7 +68,7 @@ void Tx::lazy_commit() {
 
   // 1. Acquire the write set's orecs (abort-on-conflict, no waiting).
   for (size_t i = 0; i < n_log_; i++) {
-    auto* home = static_cast<uint64_t*>(pool.at(LogEntry::offset_of(slot_.log[i].off)));
+    auto* home = static_cast<uint64_t*>(pool.at(LogEntry::offset_of(slot_.entry_at(i)->off)));
     std::atomic<uint64_t>& orec = orecs.for_addr(home);
     const uint64_t cur = orec.load(std::memory_order_acquire);
     if (OrecTable::is_locked(cur)) {
@@ -110,8 +116,9 @@ void Tx::lazy_commit() {
 
     // 5. Write back to home locations and persist them.
     for (size_t i = 0; i < n_log_; i++) {
-      auto* home = static_cast<uint64_t*>(pool.at(LogEntry::offset_of(slot_.log[i].off)));
-      mem.store_word(*ctx_, c_, home, slot_.log[i].val, nvm::Space::kData);
+      const LogEntry* e = slot_.entry_at(i);
+      auto* home = static_cast<uint64_t*>(pool.at(LogEntry::offset_of(e->off)));
+      mem.store_word(*ctx_, c_, home, e->val, nvm::Space::kData);
       dirty_.add(mem.line_of(home));
     }
     for (const uint64_t line : dirty_.lines()) {

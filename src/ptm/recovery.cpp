@@ -8,6 +8,8 @@
 //    discarded).
 // This is the "linearizable durability" contract ([10]) the paper's PTMs
 // provide. Replay is idempotent, so a crash during recovery is safe.
+#include <algorithm>
+
 #include "ptm/runtime.h"
 
 namespace ptm {
@@ -21,11 +23,16 @@ void Runtime::recover(sim::ExecContext& ctx) {
 
   for (int w = 0; w < pool_.config().max_workers; w++) {
     SlotLayout slot = SlotLayout::carve(pool_.worker_meta(w), pool_.worker_meta_bytes());
+    // Rebuild the overflow-segment chain from its persisted links — the
+    // crashed transaction's log may extend past the in-slot array.
+    slot.attach_segments(pool_);
     const uint64_t status = slot.header->status;
     const uint64_t state = TxSlotHeader::state_of(status);
     const uint64_t epoch = TxSlotHeader::epoch_of(status);
-    const uint64_t n_log = slot.header->log_count;
-    const uint64_t n_alloc = slot.header->alloc_count;
+    // Clamp the persisted counts: a corrupt count must not walk past the
+    // log arrays (epoch tags already reject any stale records inside).
+    const uint64_t n_log = std::min<uint64_t>(slot.header->log_count, slot.total_capacity);
+    const uint64_t n_alloc = std::min<uint64_t>(slot.header->alloc_count, slot.alloc_log_cap);
     const auto algo = static_cast<Algo>(slot.header->algo);
 
     if (state == TxSlotHeader::kCommitted) {
@@ -33,9 +40,10 @@ void Runtime::recover(sim::ExecContext& ctx) {
         // Replay the redo log forward; write-back may have been partial.
         for (uint64_t i = 0; i < n_log; i++) {
           // Skip records whose epoch tag is stale (partially persisted log).
-          if (!LogEntry::tag_matches(slot.log[i].off, epoch)) continue;
-          auto* home = static_cast<uint64_t*>(pool_.at(LogEntry::offset_of(slot.log[i].off)));
-          mem.store_word(ctx, c, home, slot.log[i].val, nvm::Space::kData);
+          const LogEntry* e = slot.entry_at(i);
+          if (!LogEntry::tag_matches(e->off, epoch)) continue;
+          auto* home = static_cast<uint64_t*>(pool_.at(LogEntry::offset_of(e->off)));
+          mem.store_word(ctx, c, home, e->val, nvm::Space::kData);
           mem.clwb(ctx, c, home);
         }
         mem.sfence(ctx, c);
@@ -53,9 +61,10 @@ void Runtime::recover(sim::ExecContext& ctx) {
       if (state == TxSlotHeader::kActive && algo == Algo::kOrecEager) {
         // Roll back in-place writes, newest first.
         for (uint64_t i = n_log; i-- > 0;) {
-          if (!LogEntry::tag_matches(slot.log[i].off, epoch)) continue;
-          auto* home = static_cast<uint64_t*>(pool_.at(LogEntry::offset_of(slot.log[i].off)));
-          mem.store_word(ctx, c, home, slot.log[i].val, nvm::Space::kData);
+          const LogEntry* e = slot.entry_at(i);
+          if (!LogEntry::tag_matches(e->off, epoch)) continue;
+          auto* home = static_cast<uint64_t*>(pool_.at(LogEntry::offset_of(e->off)));
+          mem.store_word(ctx, c, home, e->val, nvm::Space::kData);
           mem.clwb(ctx, c, home);
         }
         mem.sfence(ctx, c);
@@ -70,18 +79,29 @@ void Runtime::recover(sim::ExecContext& ctx) {
       }
     }
 
-    // Quiesce the slot for the next epoch.
+    // Quiesce the slot for the next epoch (skipping tag 0 — reserved for
+    // zeroed log memory — with a durable full-log wipe at the wrap, same
+    // rule as Tx::retire_logs).
+    uint64_t next_epoch = epoch + 1;
+    if ((next_epoch & LogEntry::kTagMask) == 0) {
+      zero_slot_logs(pool_, ctx, c, slot);
+      next_epoch++;
+    }
     mem.store_word(ctx, c, &slot.header->log_count, 0, nvm::Space::kLog);
     mem.store_word(ctx, c, &slot.header->alloc_count, 0, nvm::Space::kLog);
     mem.store_word(ctx, c, &slot.header->status,
-                   TxSlotHeader::make(epoch + 1, TxSlotHeader::kIdle), nvm::Space::kLog);
+                   TxSlotHeader::make(next_epoch, TxSlotHeader::kIdle), nvm::Space::kLog);
     mem.clwb(ctx, c, slot.header);
     mem.sfence(ctx, c);
 
-    // Refresh the live descriptor's epoch cache.
-    txs_[static_cast<size_t>(w)]->epoch_ = epoch + 1;
+    // Refresh the live descriptor: epoch cache, counts, and the DRAM view
+    // of the segment chain (the crash may have torn a chain-link install
+    // the descriptor still caches, or recovery may run on a descriptor
+    // that never saw the chain).
+    txs_[static_cast<size_t>(w)]->epoch_ = next_epoch;
     txs_[static_cast<size_t>(w)]->n_log_ = 0;
     txs_[static_cast<size_t>(w)]->n_alloc_log_ = 0;
+    txs_[static_cast<size_t>(w)]->slot_.attach_segments(pool_);
   }
 }
 

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "nvm/pool.h"
+
 namespace ptm {
 
 SlotLayout SlotLayout::carve(char* slot_base, size_t slot_bytes) {
@@ -14,7 +16,66 @@ SlotLayout SlotLayout::carve(char* slot_base, size_t slot_bytes) {
   l.log = reinterpret_cast<LogEntry*>(log_start);
   assert(slot_bytes > sizeof(TxSlotHeader) + kAllocLogCap * 8);
   l.log_capacity = (slot_bytes - sizeof(TxSlotHeader) - kAllocLogCap * 8) / sizeof(LogEntry);
+  l.total_capacity = l.log_capacity;
   return l;
+}
+
+void SlotLayout::attach_segments(nvm::Pool& pool) {
+  segs.clear();
+  seg_caps.clear();
+  total_capacity = log_capacity;
+
+  // Untracked loads are fine here: the chain is quiescent whenever this
+  // runs (worker construction or single-threaded recovery), and the
+  // reciprocal store path persisted each link only after its target's
+  // header was durable, so any readable link's target is well-formed or
+  // detectably garbage.
+  uint64_t link = std::atomic_ref<const uint64_t>(header->pad[kChainPad])
+                      .load(std::memory_order_acquire);
+  const size_t pool_size = pool.size();
+  while (link != 0) {
+    const uint64_t off = SegPtr::off_of(link);
+    // A link that never fully persisted (or pre-format garbage) truncates
+    // the chain here; that only sheds spare capacity, never records —
+    // log_count can only cover a segment whose link install committed.
+    if (off < sizeof(nvm::PoolHeader) || off + sizeof(LogSegment) > pool_size) break;
+    auto* seg = static_cast<LogSegment*>(pool.at(off));
+    if (seg->magic != LogSegment::kMagic) break;
+    const uint64_t cap = seg->capacity;
+    if (cap == 0 || off + sizeof(LogSegment) + cap * sizeof(LogEntry) > pool_size) break;
+    segs.push_back(seg);
+    seg_caps.push_back(static_cast<size_t>(cap));
+    total_capacity += static_cast<size_t>(cap);
+    if (segs.size() > 64) break;  // cycle guard (corrupt chain)
+    link = std::atomic_ref<const uint64_t>(seg->next).load(std::memory_order_acquire);
+  }
+}
+
+void zero_slot_logs(nvm::Pool& pool, sim::ExecContext& ctx, stats::TxCounters* c,
+                    SlotLayout& slot) {
+  nvm::Memory& mem = pool.mem();
+  // Zero in bounded chunks so store_bytes' internal buffers stay small,
+  // flushing each range's lines as we go; a single trailing fence orders
+  // everything.
+  static constexpr size_t kChunk = 4096;
+  static const unsigned char kZeros[kChunk] = {};
+  auto wipe = [&](void* dst, size_t len) {
+    char* p = static_cast<char*>(dst);
+    size_t left = len;
+    while (left > 0) {
+      const size_t n = left < kChunk ? left : kChunk;
+      mem.store_bytes(ctx, c, p, kZeros, n, nvm::Space::kLog);
+      for (size_t o = 0; o < n; o += nvm::Memory::kLineBytes) mem.clwb(ctx, c, p + o);
+      p += n;
+      left -= n;
+    }
+  };
+  wipe(slot.alloc_log, slot.alloc_log_cap * sizeof(uint64_t));
+  wipe(slot.log, slot.log_capacity * sizeof(LogEntry));
+  for (size_t k = 0; k < slot.segs.size(); k++) {
+    wipe(slot.segs[k]->entries(), slot.seg_caps[k] * sizeof(LogEntry));
+  }
+  mem.sfence(ctx, c);
 }
 
 }  // namespace ptm

@@ -7,6 +7,13 @@
 // "split the logging hash table, index in DRAM, data in Optane"
 // optimization (§III.A).
 //
+// The in-slot log array is only the *base* capacity. A transaction whose
+// write set outgrows it takes a capacity abort (stats::AbortCause::
+// kCapacity), the runtime durably links an overflow LogSegment from the
+// persistent heap into the slot's segment chain, and the transaction
+// retries with the larger log — so large-footprint workloads are bounded
+// by the heap, not by per_worker_meta_bytes. See docs/LOGGING.md.
+//
 // The same record format serves redo logs (val = new value) and undo logs
 // (val = old value); `TxSlotHeader::algo` records which algorithm wrote the
 // log so recovery replays it correctly.
@@ -14,8 +21,18 @@
 
 #include <cstdint>
 #include <cstring>
-#include <stdexcept>
+#include <utility>
 #include <vector>
+
+namespace nvm {
+class Pool;
+}
+namespace sim {
+class ExecContext;
+}
+namespace stats {
+struct TxCounters;
+}
 
 namespace ptm {
 
@@ -29,9 +46,17 @@ namespace ptm {
 /// them as stale and recovery skips them. (Entries are 16-byte aligned and
 /// never straddle cache lines, so a persisted entry is internally
 /// consistent.)
+///
+/// The tag is only the low 24 bits of the epoch, and tag 0 is *reserved*:
+/// live transactions never run at a tag-0 epoch (Tx skips those epochs),
+/// so a zero-filled record — fresh pool memory, a freshly bump-allocated
+/// overflow segment, or a wrap-quiesced slot — can never alias a live
+/// record. The wrap itself (2^24 epochs) is handled by a durable full-slot
+/// quiesce; see Tx::retire_logs and docs/LOGGING.md.
 struct LogEntry {
   static constexpr int kOffBits = 40;  // pools up to 1 TB
   static constexpr uint64_t kOffMask = (1ull << kOffBits) - 1;
+  static constexpr uint64_t kTagMask = (1ull << (64 - kOffBits)) - 1;
 
   uint64_t off;  // (epoch tag << kOffBits) | pool offset
   uint64_t val;
@@ -41,21 +66,23 @@ struct LogEntry {
   }
   static uint64_t offset_of(uint64_t packed) { return packed & kOffMask; }
   static bool tag_matches(uint64_t packed, uint64_t epoch) {
-    return (packed >> kOffBits) == (epoch & ((1ull << (64 - kOffBits)) - 1));
+    return (packed >> kOffBits) == (epoch & kTagMask);
   }
 };
 
 /// Persistent per-worker slot header (first cache line of the slot).
+/// pad[0] (SlotLayout::kChainPad) holds the head of the overflow-segment
+/// chain as a SegPtr; the remaining pad words are reserved.
 struct TxSlotHeader {
   static constexpr uint64_t kIdle = 0;
   static constexpr uint64_t kActive = 1;
   static constexpr uint64_t kCommitted = 2;
 
   uint64_t status;       // (epoch << 8) | state
-  uint64_t log_count;    // valid LogEntry records
+  uint64_t log_count;    // valid LogEntry records (base + segments)
   uint64_t alloc_count;  // valid alloc-log words
   uint64_t algo;         // ptm::Algo that wrote the log
-  uint64_t pad[4];
+  uint64_t pad[4];       // pad[0]: overflow-segment chain head (SegPtr)
 
   static uint64_t make(uint64_t epoch, uint64_t state) { return (epoch << 8) | state; }
   static uint64_t state_of(uint64_t s) { return s & 0xff; }
@@ -79,28 +106,114 @@ struct AllocLogOp {
   }
 };
 
-/// Carves a worker's metadata slot into header / alloc log / write log.
+/// Chain pointer to an overflow log segment: the pool offset of the
+/// LogSegment header packed with the epoch that installed the link (same
+/// layout as LogEntry: tag << kOffBits | offset). Segments are 64-byte
+/// aligned. The tag records when the chain grew; validity of the target is
+/// established by the LogSegment magic + bounds checks (the link is only
+/// ever persisted *after* the segment header is durable), and staleness of
+/// individual records inside a segment by the per-record epoch tags.
+struct SegPtr {
+  static uint64_t make(uint64_t off, uint64_t epoch) {
+    return (epoch << LogEntry::kOffBits) | (off & LogEntry::kOffMask);
+  }
+  static uint64_t off_of(uint64_t w) { return w & LogEntry::kOffMask & ~63ull; }
+  static uint64_t tag_of(uint64_t w) { return w >> LogEntry::kOffBits; }
+};
+
+/// Header of one overflow log segment, bump-allocated from the persistent
+/// heap and durably linked into a worker slot's chain on a capacity abort.
+/// The LogEntry records follow immediately after the header. Fresh bump
+/// memory is zero-filled, and tag 0 is never live, so a segment's records
+/// need no initialization before first use.
+struct LogSegment {
+  static constexpr uint64_t kMagic = 0x50544d4c4f475347ull;  // "PTMLOGSG"
+
+  uint64_t magic;
+  uint64_t next;      // SegPtr to the next segment; 0 = end of chain
+  uint64_t capacity;  // LogEntry records in this segment
+  uint64_t pad[5];
+
+  LogEntry* entries() {
+    return reinterpret_cast<LogEntry*>(reinterpret_cast<char*>(this) + sizeof(LogSegment));
+  }
+};
+static_assert(sizeof(LogSegment) == 64);
+
+/// Carves a worker's metadata slot into header / alloc log / write log,
+/// plus a DRAM-side cache of the slot's persistent overflow-segment chain.
+/// Log record index space is linear: [0, log_capacity) lives in the slot,
+/// subsequent indices run through the segments in chain order.
 struct SlotLayout {
-  TxSlotHeader* header;
-  uint64_t* alloc_log;  // kAllocLogCap words
-  LogEntry* log;        // log_capacity records
-  size_t alloc_log_cap;
-  size_t log_capacity;
+  static constexpr size_t kChainPad = 0;  // header->pad word holding the chain head
+
+  TxSlotHeader* header = nullptr;
+  uint64_t* alloc_log = nullptr;  // alloc_log_cap words
+  LogEntry* log = nullptr;        // log_capacity records (base, in-slot)
+  size_t alloc_log_cap = 0;
+  size_t log_capacity = 0;
+
+  // DRAM-side view of the persistent chain rooted at header->pad[kChainPad].
+  std::vector<LogSegment*> segs;
+  std::vector<size_t> seg_caps;
+  size_t total_capacity = 0;  // log_capacity + sum(seg_caps)
 
   static SlotLayout carve(char* slot_base, size_t slot_bytes);
+
+  /// (Re)build segs/seg_caps/total_capacity from the persistent chain,
+  /// validating each link (bounds, alignment, magic) and stopping at the
+  /// first invalid one — a link whose install never fully persisted simply
+  /// truncates the chain, losing spare capacity but never correctness.
+  void attach_segments(nvm::Pool& pool);
+
+  /// Log record `i` of the linear index space, or nullptr past the end.
+  LogEntry* entry_at(size_t i) {
+    if (i < log_capacity) return &log[i];
+    i -= log_capacity;
+    for (size_t k = 0; k < segs.size(); k++) {
+      if (i < seg_caps[k]) return segs[k]->entries() + i;
+      i -= seg_caps[k];
+    }
+    return nullptr;
+  }
+
+  /// Longest contiguous record run starting at index `i` (for range
+  /// flushes): pointer plus number of records before the next segment
+  /// boundary. {nullptr, 0} past the end.
+  std::pair<LogEntry*, size_t> span_at(size_t i) {
+    if (i < log_capacity) return {&log[i], log_capacity - i};
+    i -= log_capacity;
+    for (size_t k = 0; k < segs.size(); k++) {
+      if (i < seg_caps[k]) return {segs[k]->entries() + i, seg_caps[k] - i};
+      i -= seg_caps[k];
+    }
+    return {nullptr, 0};
+  }
 };
+
+/// Durably zero a slot's log arrays (alloc log, base write log, every
+/// attached overflow segment) — the epoch-tag wrap quiesce: after 2^24
+/// epochs a leftover record could alias a live tag, so all leftovers are
+/// erased before the tag space is reused. The caller issues the subsequent
+/// status/count update; this only zeroes + flushes + fences the arrays.
+void zero_slot_logs(nvm::Pool& pool, sim::ExecContext& ctx, stats::TxCounters* c,
+                    SlotLayout& slot);
 
 /// DRAM-resident open-addressing map: word pool-offset -> log index.
 /// Generation-stamped so clearing between transactions is O(1). Write sets
 /// are capped at half the table (beyond that, probing costs explode and a
-/// full table would loop) — far beyond any workload in the paper; huge
-/// initialization transactions should batch instead.
+/// full table would loop) — insert() reports the overflow and the runtime
+/// takes a capacity abort, doubles the table (grow()), and retries, up to
+/// kMaxSlots.
 class WriteIndex {
  public:
-  static constexpr size_t kSlots = 1u << 14;
-  static constexpr size_t kMaxWrites = kSlots / 2;
+  static constexpr size_t kInitialSlots = 1u << 14;
+  static constexpr size_t kMaxSlots = 1u << 22;  // hard ceiling: 2M-entry write sets
 
-  WriteIndex() : slots_(kSlots) {}
+  WriteIndex() : slots_(kInitialSlots), shift_(64 - 14) {}
+
+  /// Largest write set the current table admits.
+  size_t max_writes() const { return slots_.size() / 2; }
 
   void clear() {
     gen_++;
@@ -109,31 +222,48 @@ class WriteIndex {
 
   /// Returns log index or -1.
   int64_t lookup(uint64_t off) const {
+    const size_t mask = slots_.size() - 1;
     size_t i = hash(off);
     for (;;) {
       const Slot& s = slots_[i];
       if (s.gen != gen_) return -1;
       if (s.off == off) return s.idx;
-      i = (i + 1) & (kSlots - 1);
+      i = (i + 1) & mask;
     }
   }
 
-  void insert(uint64_t off, int64_t idx) {
-    if (count_ >= kMaxWrites) {
-      throw std::runtime_error("transaction write set exceeds WriteIndex capacity");
-    }
+  /// Map `off` to `idx`. Returns false when a *new* key would exceed
+  /// max_writes() — the caller must abort the transaction (updating an
+  /// existing key never fails).
+  bool insert(uint64_t off, int64_t idx) {
+    const size_t mask = slots_.size() - 1;
     size_t i = hash(off);
     for (;;) {
       Slot& s = slots_[i];
       if (s.gen != gen_ || s.off == off) {
-        if (s.gen != gen_) count_++;
+        if (s.gen != gen_) {
+          if (count_ >= max_writes()) return false;
+          count_++;
+        }
         s.gen = gen_;
         s.off = off;
         s.idx = idx;
-        return;
+        return true;
       }
-      i = (i + 1) & (kSlots - 1);
+      i = (i + 1) & mask;
     }
+  }
+
+  /// Double the table. DRAM-only and contents-discarding (equivalent to
+  /// clear()), so it is legal only between transactions — the abort path
+  /// calls it right before the retry. Returns false at kMaxSlots.
+  bool grow() {
+    if (slots_.size() >= kMaxSlots) return false;
+    slots_.assign(slots_.size() * 2, Slot{});
+    shift_--;
+    gen_ = 1;
+    count_ = 0;
+    return true;
   }
 
  private:
@@ -143,11 +273,13 @@ class WriteIndex {
     int64_t idx = 0;
   };
 
-  static size_t hash(uint64_t off) {
-    return static_cast<size_t>((off >> 3) * 0x9e3779b97f4a7c15ull >> 51) & (kSlots - 1);
+  size_t hash(uint64_t off) const {
+    return static_cast<size_t>(((off >> 3) * 0x9e3779b97f4a7c15ull) >> shift_) &
+           (slots_.size() - 1);
   }
 
   std::vector<Slot> slots_;
+  int shift_;  // 64 - log2(slots_.size()): hash uses the top bits
   uint64_t gen_ = 1;
   size_t count_ = 0;
 };

@@ -23,4 +23,18 @@ void Runtime::reset_counters() {
   for (auto& c : counters_) c.reset();
 }
 
+uint64_t Runtime::debug_epoch(int worker) const {
+  return txs_[static_cast<size_t>(worker)]->epoch_;
+}
+
+void Runtime::debug_set_epoch(sim::ExecContext& ctx, int worker, uint64_t epoch) {
+  Tx& tx = *txs_[static_cast<size_t>(worker)];
+  tx.epoch_ = epoch;
+  nvm::Memory& mem = pool_.mem();
+  mem.store_word(ctx, nullptr, &tx.slot_.header->status,
+                 TxSlotHeader::make(epoch, TxSlotHeader::kIdle), nvm::Space::kLog);
+  mem.clwb(ctx, nullptr, tx.slot_.header);
+  mem.sfence(ctx, nullptr);
+}
+
 }  // namespace ptm

@@ -79,6 +79,18 @@ class Runtime {
   std::vector<stats::TxCounters> snapshot_counters() const { return counters_; }
   void reset_counters();
 
+  // ----- test hooks ------------------------------------------------------
+
+  /// Current epoch of a worker's transaction descriptor (tests assert the
+  /// tag-wrap quiesce rules without peeking at private state).
+  uint64_t debug_epoch(int worker) const;
+
+  /// Fast-forward a worker's epoch (descriptor + durable IDLE status), as
+  /// if that many transactions had retired. Only valid while the worker is
+  /// between transactions; used to drive the 24-bit tag space to its wrap
+  /// boundary in bounded test time.
+  void debug_set_epoch(sim::ExecContext& ctx, int worker, uint64_t epoch);
+
  private:
   friend class Tx;
   friend class Recovery;

@@ -18,7 +18,14 @@ Tx::Tx(Runtime& rt, int worker)
       rng_(0x74785eedull + static_cast<uint64_t>(worker) * 0x1234567ull) {
   nvm::Pool& pool = rt.pool();
   slot_ = SlotLayout::carve(pool.worker_meta(worker), pool.worker_meta_bytes());
+  slot_.attach_segments(pool);
   epoch_ = TxSlotHeader::epoch_of(slot_.header->status);
+  // Tag 0 is reserved (zero-filled log memory must never alias a live
+  // record); a fresh pool starts at epoch 0, so step past it. The durable
+  // status catches up at the first retire_logs/recovery — until then the
+  // slot shows an older IDLE epoch, which only makes stale records *more*
+  // stale, never current.
+  if ((epoch_ & LogEntry::kTagMask) == 0) epoch_++;
 }
 
 void Tx::begin() {
@@ -27,6 +34,7 @@ void Tx::begin() {
   n_log_ = 0;
   n_alloc_log_ = 0;
   active_persisted_ = false;
+  capacity_kind_ = CapacityKind::kNone;
   read_set_.clear();
   owned_.clear();
   dirty_.clear();
@@ -115,6 +123,14 @@ void Tx::handle_abort() {
     lazy_abort_cleanup();
   }
   cancel_allocs();
+  if (capacity_kind_ != CapacityKind::kNone) {
+    // Capacity abort: grow the exhausted resource instead of backing off —
+    // the retry cannot hit the same wall, so no separation in time is
+    // needed, and growth failure must surface (CapacityError) rather than
+    // spin. Rollback above already ran, so a throw leaves no orec held.
+    grow_for_capacity();
+    return;
+  }
   // Exponential backoff so conflicting transactions separate in (simulated)
   // time; required for livelock-freedom under the DES single-runner rule.
   attempt_++;
@@ -132,9 +148,88 @@ void Tx::abort_tx(stats::AbortCause cause) {
 
 void Tx::abort_and_retry() { abort_tx(stats::AbortCause::kExplicit); }
 
+void Tx::capacity_abort(CapacityKind kind) {
+  capacity_kind_ = kind;
+  abort_tx(stats::AbortCause::kCapacity);
+}
+
+void Tx::grow_for_capacity() {
+  const CapacityKind kind = capacity_kind_;
+  capacity_kind_ = CapacityKind::kNone;
+  switch (kind) {
+    case CapacityKind::kNone:
+      return;
+    case CapacityKind::kAllocLog:
+      // The alloc log is a fixed in-slot array (recovery depends on its
+      // placement); it does not grow. 256 alloc/free ops per transaction
+      // is a hard API limit.
+      throw CapacityError("transaction exceeded the per-transaction alloc/free limit");
+    case CapacityKind::kWriteIndex:
+      if (!windex_.grow()) {
+        throw CapacityError("transaction write set exceeded the write-index ceiling");
+      }
+      c_->log_growths++;
+      return;
+    case CapacityKind::kWriteLog:
+      break;
+  }
+
+  if (slot_.segs.size() >= kMaxLogSegments) {
+    throw CapacityError("transaction write set exceeded the log segment-chain ceiling");
+  }
+  // Double the slot's total log capacity with one overflow segment from the
+  // persistent bump region (never freed — the chain is a durable upgrade of
+  // this worker slot, reused by every later transaction and by recovery).
+  const size_t add = slot_.total_capacity;
+  nvm::Pool& pool = rt_->pool();
+  nvm::Memory& mem = pool.mem();
+  LogSegment* seg;
+  try {
+    seg = static_cast<LogSegment*>(
+        rt_->allocator().alloc_raw(*ctx_, c_, sizeof(LogSegment) + add * sizeof(LogEntry)));
+  } catch (const std::bad_alloc&) {
+    throw CapacityError("persistent heap exhausted while growing the transaction log");
+  }
+
+  // Crash ordering: the segment header must be durable before any link to
+  // it exists, so a recovered chain never follows a link into garbage.
+  // (alloc_raw's bump memory is zero-filled, so the records need no init —
+  // tag 0 never matches a live epoch.)
+  mem.store_word(*ctx_, c_, &seg->magic, LogSegment::kMagic, nvm::Space::kLog);
+  mem.store_word(*ctx_, c_, &seg->next, 0, nvm::Space::kLog);
+  mem.store_word(*ctx_, c_, &seg->capacity, add, nvm::Space::kLog);
+  mem.clwb(*ctx_, c_, seg);
+  mem.sfence(*ctx_, c_);
+
+  // Now durably install the link (chain head in the slot header, or the
+  // tail segment's `next`).
+  uint64_t* link = slot_.segs.empty() ? &slot_.header->pad[SlotLayout::kChainPad]
+                                      : &slot_.segs.back()->next;
+  mem.store_word(*ctx_, c_, link, SegPtr::make(pool.offset_of(seg), epoch_),
+                 nvm::Space::kLog);
+  mem.clwb(*ctx_, c_, link);
+  mem.sfence(*ctx_, c_);
+
+  slot_.segs.push_back(seg);
+  slot_.seg_caps.push_back(add);
+  slot_.total_capacity += add;
+
+  // Media-routing hint: segment records are log traffic (PDRAM-Lite places
+  // logs in DRAM).
+  const uint64_t lo = mem.line_of(seg);
+  const uint64_t hi = mem.line_of(reinterpret_cast<const char*>(seg) + sizeof(LogSegment) +
+                                  add * sizeof(LogEntry) - 1) +
+                      1;
+  mem.add_log_line_range(lo, hi);
+  c_->log_growths++;
+}
+
 void* Tx::alloc(size_t n) {
+  // Capacity check BEFORE the allocation: aborting after allocator().alloc
+  // but before tx_allocs_.push_back would leak the block (cancel_allocs
+  // only returns registered blocks).
+  if (n_alloc_log_ >= slot_.alloc_log_cap) capacity_abort(CapacityKind::kAllocLog);
   void* p = rt_->allocator().alloc(*ctx_, c_, n);
-  if (n_alloc_log_ >= slot_.alloc_log_cap) throw std::runtime_error("alloc log overflow");
   nvm::Memory& mem = rt_->pool().mem();
   const uint64_t off = rt_->pool().offset_of(p);
   uint64_t* entry = &slot_.alloc_log[n_alloc_log_];
@@ -150,7 +245,7 @@ void* Tx::alloc(size_t n) {
 }
 
 void Tx::dealloc(void* p) {
-  if (n_alloc_log_ >= slot_.alloc_log_cap) throw std::runtime_error("alloc log overflow");
+  if (n_alloc_log_ >= slot_.alloc_log_cap) capacity_abort(CapacityKind::kAllocLog);
   nvm::Memory& mem = rt_->pool().mem();
   const uint64_t off = rt_->pool().offset_of(p);
   uint64_t* entry = &slot_.alloc_log[n_alloc_log_];
@@ -165,10 +260,10 @@ void Tx::dealloc(void* p) {
 }
 
 void Tx::append_log(uint64_t off, uint64_t val) {
-  if (n_log_ >= slot_.log_capacity) throw std::runtime_error("write log overflow");
+  if (n_log_ >= slot_.total_capacity) capacity_abort(CapacityKind::kWriteLog);
   stats::PhaseTimer pt(*ctx_, &c_->phases, stats::Phase::kLogAppend);
   nvm::Memory& mem = rt_->pool().mem();
-  LogEntry* e = &slot_.log[n_log_];
+  LogEntry* e = slot_.entry_at(n_log_);
   mem.store_word(*ctx_, c_, &e->off, LogEntry::pack(epoch_, off), nvm::Space::kLog);
   mem.store_word(*ctx_, c_, &e->val, val, nvm::Space::kLog);
   n_log_++;
@@ -181,14 +276,22 @@ void Tx::persist_slot_header() {
 }
 
 void Tx::persist_log_range(size_t first_entry, size_t n_entries) {
-  if (n_entries == 0) return;
   nvm::Memory& mem = rt_->pool().mem();
-  const char* lo = reinterpret_cast<const char*>(&slot_.log[first_entry]);
-  const char* hi = reinterpret_cast<const char*>(&slot_.log[first_entry + n_entries]) - 1;
-  for (const char* p = reinterpret_cast<const char*>(
-           reinterpret_cast<uintptr_t>(lo) & ~uintptr_t{63});
-       p <= hi; p += nvm::Memory::kLineBytes) {
-    mem.clwb(*ctx_, c_, p);
+  // The linear record range may span the base log and several overflow
+  // segments; flush each contiguous run separately.
+  while (n_entries > 0) {
+    auto [run, run_cap] = slot_.span_at(first_entry);
+    assert(run != nullptr && "persist_log_range past total_capacity");
+    const size_t n = std::min(n_entries, run_cap);
+    const char* lo = reinterpret_cast<const char*>(run);
+    const char* hi = reinterpret_cast<const char*>(run + n) - 1;
+    for (const char* p = reinterpret_cast<const char*>(
+             reinterpret_cast<uintptr_t>(lo) & ~uintptr_t{63});
+         p <= hi; p += nvm::Memory::kLineBytes) {
+      mem.clwb(*ctx_, c_, p);
+    }
+    first_entry += n;
+    n_entries -= n;
   }
 }
 
@@ -238,6 +341,16 @@ void Tx::retire_logs() {
   mem.store_word(*ctx_, c_, &slot_.header->alloc_count, 0, nvm::Space::kLog);
   n_alloc_log_ = 0;
   epoch_++;
+  if ((epoch_ & LogEntry::kTagMask) == 0) {
+    // The 24-bit epoch tag wrapped: records written 2^24 epochs ago would
+    // now tag-match again. Durably erase every leftover record before
+    // entering the reused tag space, then skip tag 0 (reserved for zeroed
+    // memory). Crash-safe at any point: the quiesce only zeroes retired
+    // records, and until the status below persists the slot still shows
+    // the pre-wrap epoch, for which zeroed logs are a valid (empty) state.
+    zero_slot_logs(rt_->pool(), *ctx_, c_, slot_);
+    epoch_++;
+  }
   set_status(TxSlotHeader::kIdle, /*fence=*/true);
 }
 

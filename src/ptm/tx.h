@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <stdexcept>
 #include <type_traits>
 #include <vector>
 
@@ -44,6 +45,16 @@ const char* algo_suffix(Algo a);  // "R" / "U"
 /// Internal control-flow exception: thrown on conflict, caught by
 /// Runtime::run's retry loop. Never escapes to application code.
 struct AbortTx {};
+
+/// A transaction's footprint exceeded a capacity the runtime could not
+/// grow any further (alloc log full, segment-chain ceiling, write-index
+/// ceiling, or persistent heap exhausted while growing). Thrown from
+/// Runtime::run *after* the offending attempt was fully rolled back — no
+/// orecs held, allocations cancelled, logs retired — so the runtime stays
+/// usable and the caller may retry with a smaller transaction.
+struct CapacityError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 class Runtime;
 
@@ -134,8 +145,22 @@ class Tx {
 
   void begin();
   void commit();
-  void handle_abort();  // rollback + backoff after AbortTx
+  void handle_abort();  // rollback + backoff (or capacity growth) after AbortTx
   [[noreturn]] void abort_tx(stats::AbortCause cause);
+
+  /// Which resource a capacity abort ran out of. Distinct from the abort
+  /// *cause* (always kCapacity): handle_abort consumes the kind to decide
+  /// what to grow before the retry.
+  enum class CapacityKind : uint8_t { kNone = 0, kWriteLog, kAllocLog, kWriteIndex };
+
+  /// Abort the attempt because `kind` is exhausted; handle_abort will grow
+  /// the resource (or raise CapacityError) after normal rollback.
+  [[noreturn]] void capacity_abort(CapacityKind kind);
+
+  /// Grow the resource recorded by the pending capacity abort. Runs after
+  /// rollback, outside any transaction. Throws CapacityError when the
+  /// resource cannot grow further.
+  void grow_for_capacity();
 
   // orec-lazy implementation (orec_lazy.cpp)
   uint64_t lazy_read(const uint64_t* waddr);
@@ -184,6 +209,13 @@ class Tx {
 
   uint64_t attempt_ = 0;
   stats::AbortCause last_abort_cause_ = stats::AbortCause::kExplicit;
+
+  /// Bound on overflow segments per slot. Each growth doubles total log
+  /// capacity, so 8 segments already admit write sets 256x the base log;
+  /// deeper chains indicate a runaway transaction, not a real footprint.
+  static constexpr size_t kMaxLogSegments = 8;
+  CapacityKind capacity_kind_ = CapacityKind::kNone;
+
   util::Rng rng_;
 };
 

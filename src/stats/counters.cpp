@@ -11,6 +11,7 @@ const char* abort_cause_name(AbortCause c) {
     case AbortCause::kConflictWrite: return "write_conflict";
     case AbortCause::kValidation: return "validation";
     case AbortCause::kExplicit: return "explicit";
+    case AbortCause::kCapacity: return "capacity";
   }
   return "?";
 }
@@ -25,6 +26,7 @@ void TxCounters::add(const TxCounters& o) {
   sfences += o.sfences;
   log_bytes += o.log_bytes;
   log_lines_hwm = std::max(log_lines_hwm, o.log_lines_hwm);
+  log_growths += o.log_growths;
   pmem_loads += o.pmem_loads;
   pmem_stores += o.pmem_stores;
   dram_cache_hits += o.dram_cache_hits;

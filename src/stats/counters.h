@@ -29,8 +29,9 @@ enum class AbortCause : uint8_t {
   kConflictWrite,     // orec conflict acquiring the write set
   kValidation,        // read-set validation failed at commit
   kExplicit,          // user-requested abort_and_retry()
+  kCapacity,          // log / write-set capacity exhausted; runtime grows + retries
 };
-inline constexpr size_t kNumAbortCauses = 4;
+inline constexpr size_t kNumAbortCauses = 5;
 
 const char* abort_cause_name(AbortCause c);
 
@@ -44,6 +45,7 @@ struct TxCounters {
   uint64_t sfences = 0;
   uint64_t log_bytes = 0;           // bytes appended to redo/undo logs
   uint64_t log_lines_hwm = 0;       // high-watermark of log cache lines per tx
+  uint64_t log_growths = 0;         // overflow log segments / index growths installed
   uint64_t pmem_loads = 0;          // loads served by the persistent media
   uint64_t pmem_stores = 0;
   uint64_t dram_cache_hits = 0;     // PDRAM / Memory-Mode directory hits

@@ -31,6 +31,7 @@ void write_run_result_fields(JsonWriter& w, const RunResult& r) {
   w.kv("sfences", c.sfences);
   w.kv("log_bytes", c.log_bytes);
   w.kv("log_lines_hwm", c.log_lines_hwm);
+  w.kv("log_growths", c.log_growths);
   w.kv("pmem_loads", c.pmem_loads);
   w.kv("pmem_stores", c.pmem_stores);
   w.kv("dram_cache_hits", c.dram_cache_hits);

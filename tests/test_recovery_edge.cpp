@@ -56,21 +56,31 @@ TEST(WriteIndex, ManyEntriesNoFalseHits) {
   }
 }
 
-TEST(LogOverflow, WriteLogThrowsCleanly) {
+TEST(LogOverflow, WriteLogGrowsAndCommits) {
+  // A write set far beyond the in-slot log no longer kills the transaction:
+  // each overflow takes a capacity abort, links a fresh log segment, and
+  // retries (tests/test_overflow.cpp covers this path in depth).
   auto cfg = test::small_cfg(nvm::Domain::kEadr);
-  cfg.per_worker_meta_bytes = 1 << 13;  // tiny: ~380 log entries
+  cfg.per_worker_meta_bytes = 1 << 13;  // tiny: ~380 base log entries
   test::Fixture fx(cfg);
   auto* root = fx.pool.root<Root>();
-  EXPECT_THROW(fx.rt.run(fx.ctx,
-                         [&](ptm::Tx& tx) {
-                           // Distinct words beyond log capacity.
-                           auto* heap = reinterpret_cast<uint64_t*>(fx.pool.heap_base());
-                           for (uint64_t i = 0; i < 4096; i++) {
-                             tx.write(&heap[i * 8], i);
-                           }
-                           (void)root;
-                         }),
-               std::runtime_error);
+  // Mid-heap region: the overflow segments bump-allocate from the heap
+  // start, and the write set must not overlap its own log.
+  auto* heap = reinterpret_cast<uint64_t*>(fx.pool.heap_base() + fx.pool.heap_bytes() / 2);
+  fx.rt.run(fx.ctx, [&](ptm::Tx& tx) {
+    // Distinct words beyond base log capacity.
+    for (uint64_t i = 0; i < 4096; i++) {
+      tx.write(&heap[i * 8], i);
+    }
+    (void)root;
+  });
+  for (uint64_t i = 0; i < 4096; i++) {
+    ASSERT_EQ(heap[i * 8], i);
+  }
+  const auto totals = stats::aggregate(fx.rt.snapshot_counters());
+  EXPECT_GT(totals.aborts_of(stats::AbortCause::kCapacity), 0u);
+  EXPECT_GT(totals.log_growths, 0u);
+  EXPECT_EQ(totals.commits, 1u);
 }
 
 TEST(Recovery, NoOpOnCleanPool) {
