@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Fail if any REPRO_JSON artifact reports an unclean startup recovery.
+
+Every bench point opens its pool through Runtime::recover() and records the
+resulting stats::RecoveryReport under the point's "recovery" key. On a
+clean benchmark run (fresh pool, no injected faults) recovery must refuse
+nothing: any discarded record (torn / out-of-bounds / media-faulted), any
+whole-log checksum mismatch, and any dropped log-range registration means
+the product corrupted or mis-sized its own metadata before the measured
+run even began. CI runs this over the bench-smoke artifacts alongside
+check_capacity_aborts.py.
+
+Usage: check_recovery_report.py ARTIFACT.json [ARTIFACT.json ...]
+Exit status: 0 if all clean, 1 if any point is unclean (or an artifact
+cannot be parsed).
+"""
+import json
+import sys
+
+# recovery-object keys that must be zero on a clean run, with the reason
+# a nonzero value is alarming.
+GATED = {
+    "records_discarded": "recovery refused log records (torn/invalid/media)",
+    "records_torn": "per-record CRC failures on a fresh pool",
+    "records_invalid": "log records with out-of-bounds offsets",
+    "records_media_faulted": "records lost to media faults",
+    "log_crc_mismatches": "committed whole-log checksum mismatches",
+    "media_faults": "poisoned lines present at startup",
+    "segment_links_truncated": "overflow-chain links dropped",
+    "log_range_drops": "log-range registrations dropped (PDRAM-Lite misroute)",
+}
+
+
+def check(path):
+    """Returns a list of offending (bench, label, threads, key, count) tuples."""
+    with open(path) as f:
+        doc = json.load(f)
+    bad = []
+    for point in doc.get("results", []):
+        rec = point.get("recovery")
+        if rec is None:
+            bad.append((point.get("bench", "?"), point.get("label", "?"),
+                        point.get("threads", "?"), "recovery", "missing"))
+            continue
+        for key, _why in GATED.items():
+            count = rec.get(key, 0)
+            if count:
+                bad.append((point.get("bench", "?"), point.get("label", "?"),
+                            point.get("threads", "?"), key, count))
+    return bad
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        try:
+            bad = check(path)
+        except (OSError, ValueError) as e:
+            print(f"{path}: cannot read artifact: {e}", file=sys.stderr)
+            failed = True
+            continue
+        if bad:
+            failed = True
+            for bench, label, threads, key, count in bad:
+                why = GATED.get(key, "recovery object absent from artifact")
+                print(f"{path}: recovery.{key}={count} in [{bench}] {label} "
+                      f"@ {threads} threads — {why}", file=sys.stderr)
+        else:
+            print(f"{path}: recovery reports clean")
+    if failed:
+        print("unclean startup recovery on default configs — see "
+              "docs/FAULTS.md for what each counter means", file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

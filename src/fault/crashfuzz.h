@@ -1,0 +1,54 @@
+// Crash-schedule explorer ("crashfuzz"): systematically sweeps and
+// randomly samples power-failure points across {orec-lazy, orec-eager} ×
+// all four durability domains × workloads, with sub-line tearing and
+// adversarial writeback schedules enabled, and checks every recovered
+// heap against the durable-linearizability oracle plus workload
+// invariants. Every schedule is fully described by a ScheduleSpec, so a
+// failure prints a one-line repro command.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nvm/domain.h"
+#include "ptm/tx.h"
+
+namespace fault {
+
+/// Complete, replayable description of one crash schedule.
+struct ScheduleSpec {
+  ptm::Algo algo = ptm::Algo::kOrecLazy;
+  nvm::Domain domain = nvm::Domain::kAdr;
+  int workload = 0;          // 0 = bank transfers, 1 = alloc/free churn
+  uint64_t wl_seed = 1;      // workload rng (fixes the execution)
+  uint64_t arm_events = 0;   // crash at this persistence event (0 = never)
+  uint64_t crash_seed = 1;   // rng for crash-image resolution
+  bool torn_stores = true;
+  nvm::WritebackAdversary adversary = nvm::WritebackAdversary::kRandom;
+  bool media_fault = false;  // poison a log line before recovery
+};
+
+/// The exact `crashfuzz --one ...` invocation that replays `spec`.
+std::string repro_command(const ScheduleSpec& spec);
+
+/// Run one schedule. Returns true on pass; on failure `why` (if non-null)
+/// receives the counterexample. `events_out` (if non-null) receives the
+/// total persistence events the workload executed (for dry runs).
+bool run_schedule(const ScheduleSpec& spec, std::string* why,
+                  uint64_t* events_out = nullptr);
+
+struct FuzzOptions {
+  uint64_t seed = 1;        // base seed for the randomized phase
+  int schedules = 500;      // randomized schedules across the matrix
+  int sweep = 48;           // deterministic sweep: first N events per config
+  bool verbose = false;
+  int only_workload = -1;   // -1 = all
+  std::string only_algo;    // "R" / "U" ("" = both)
+  std::string only_domain;  // "ADR" / "eADR" / "PDRAM" / "PDRAM-Lite" ("" = all)
+};
+
+/// Deterministic sweeps + media-fault trials + randomized exploration.
+/// Returns the number of failing schedules (0 = all passed).
+int run_crashfuzz(const FuzzOptions& opt);
+
+}  // namespace fault

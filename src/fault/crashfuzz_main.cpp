@@ -1,0 +1,131 @@
+// crashfuzz driver.
+//
+//   crashfuzz [--schedules N] [--sweep N] [--seed S] [--algo R|U]
+//             [--domain ADR|eADR|PDRAM|PDRAM-Lite] [--workload bank|churn]
+//             [--verbose]
+//       Deterministic event sweeps + media-fault trials + N randomized
+//       schedules across the selected matrix. Exit code = failure count.
+//
+//   crashfuzz --one --algo R --domain ADR --workload bank --wl-seed S
+//             --events K --crash-seed S [--adversary NAME] [--torn 0|1]
+//             [--media 0|1]
+//       Replay a single schedule (the repro line printed on failure).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fault/crashfuzz.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr, "crashfuzz: bad arguments (see source header for usage)\n");
+  return 2;
+}
+
+bool parse_algo(const char* s, ptm::Algo* out) {
+  if (std::strcmp(s, "R") == 0) *out = ptm::Algo::kOrecLazy;
+  else if (std::strcmp(s, "U") == 0) *out = ptm::Algo::kOrecEager;
+  else return false;
+  return true;
+}
+
+bool parse_domain(const char* s, nvm::Domain* out) {
+  for (auto d : {nvm::Domain::kAdr, nvm::Domain::kEadr, nvm::Domain::kPdram,
+                 nvm::Domain::kPdramLite}) {
+    if (std::strcmp(s, nvm::domain_name(d)) == 0) {
+      *out = d;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_workload(const char* s, int* out) {
+  if (std::strcmp(s, "bank") == 0) *out = 0;
+  else if (std::strcmp(s, "churn") == 0) *out = 1;
+  else return false;
+  return true;
+}
+
+bool parse_adversary(const char* s, nvm::WritebackAdversary* out) {
+  struct {
+    const char* name;
+    nvm::WritebackAdversary a;
+  } table[] = {
+      {"random", nvm::WritebackAdversary::kRandom},
+      {"none", nvm::WritebackAdversary::kNone},
+      {"all", nvm::WritebackAdversary::kAll},
+      {"log-first", nvm::WritebackAdversary::kLogFirst},
+      {"data-first", nvm::WritebackAdversary::kDataFirst},
+  };
+  for (const auto& e : table) {
+    if (std::strcmp(s, e.name) == 0) {
+      *out = e.a;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool one = false;
+  fault::ScheduleSpec spec;
+  fault::FuzzOptions opt;
+
+  for (int i = 1; i < argc; i++) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    const char* v = nullptr;
+    if (a == "--one") {
+      one = true;
+    } else if (a == "--verbose") {
+      opt.verbose = true;
+    } else if (a == "--schedules" && (v = next())) {
+      opt.schedules = std::atoi(v);
+    } else if (a == "--sweep" && (v = next())) {
+      opt.sweep = std::atoi(v);
+    } else if (a == "--seed" && (v = next())) {
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (a == "--algo" && (v = next())) {
+      if (!parse_algo(v, &spec.algo)) return usage();
+      opt.only_algo = v;
+    } else if (a == "--domain" && (v = next())) {
+      if (!parse_domain(v, &spec.domain)) return usage();
+      opt.only_domain = v;
+    } else if (a == "--workload" && (v = next())) {
+      if (!parse_workload(v, &spec.workload)) return usage();
+      opt.only_workload = spec.workload;
+    } else if (a == "--wl-seed" && (v = next())) {
+      spec.wl_seed = std::strtoull(v, nullptr, 10);
+    } else if (a == "--events" && (v = next())) {
+      spec.arm_events = std::strtoull(v, nullptr, 10);
+    } else if (a == "--crash-seed" && (v = next())) {
+      spec.crash_seed = std::strtoull(v, nullptr, 10);
+    } else if (a == "--adversary" && (v = next())) {
+      if (!parse_adversary(v, &spec.adversary)) return usage();
+    } else if (a == "--torn" && (v = next())) {
+      spec.torn_stores = std::atoi(v) != 0;
+    } else if (a == "--media" && (v = next())) {
+      spec.media_fault = std::atoi(v) != 0;
+    } else {
+      return usage();
+    }
+  }
+
+  if (one) {
+    std::string why;
+    if (fault::run_schedule(spec, &why)) {
+      std::printf("PASS: %s\n", fault::repro_command(spec).c_str());
+      return 0;
+    }
+    std::fprintf(stderr, "FAIL: %s\n  repro: %s\n", why.c_str(),
+                 fault::repro_command(spec).c_str());
+    return 1;
+  }
+  const int failures = fault::run_crashfuzz(opt);
+  return failures > 0 ? 1 : 0;
+}

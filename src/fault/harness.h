@@ -1,0 +1,78 @@
+// Crash-trial harness: the arm → run-until-crash → power-fail → recover
+// → verify sequence that every crash-consistency test and the crashfuzz
+// explorer share. Owns the pool, the runtime and a durable-linearizability
+// oracle wired in as the runtime's TxObserver.
+//
+// Usage:
+//   fault::CrashHarness h(cfg, algo);
+//   h.rt.run(ctx, setup);                 // populate
+//   h.seal_initial_state();               // committed baseline
+//   h.run_until_crash(events, seed, [&] { ...transactions... });
+//   h.power_fail_and_recover(ctx);        // -> h.report
+//   auto res = h.verify();                // oracle verdict
+//
+// Call verify() before running any post-recovery transactions: the oracle
+// compares heap bytes against the recorded history, and later (unobserved)
+// transactions would legitimately change them.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "fault/oracle.h"
+#include "nvm/pool.h"
+#include "ptm/runtime.h"
+#include "sim/context.h"
+#include "util/rng.h"
+
+namespace fault {
+
+class CrashHarness {
+ public:
+  CrashHarness(const nvm::SystemConfig& cfg, ptm::Algo algo)
+      : pool(cfg), rt(pool, algo), oracle(pool) {}
+
+  ~CrashHarness() { rt.set_observer(nullptr); }
+
+  /// Mark the current (populated) pool contents as the durable baseline.
+  void seal_initial_state() { pool.mem().checkpoint_all_persistent(); }
+
+  /// Arm a crash at the `events`-th persistence event, snapshot the oracle
+  /// baseline, attach it, and run `body`. Returns true iff the crash fired
+  /// (body may also complete normally when `events` exceeds the run).
+  template <typename Body>
+  bool run_until_crash(uint64_t events, uint64_t crash_seed, Body&& body) {
+    pool.mem().arm_crash_after(events, crash_seed);
+    oracle.start();
+    rt.set_observer(&oracle);
+    bool crashed = false;
+    try {
+      std::forward<Body>(body)();
+    } catch (const nvm::CrashPoint&) {
+      crashed = true;
+    }
+    return crashed;
+  }
+
+  /// Resolve the crash image, then recover. Detaches the oracle first so
+  /// recovery and post-recovery transactions are not recorded. The
+  /// recovery report is kept in `report` and also returned.
+  stats::RecoveryReport power_fail_and_recover(sim::ExecContext& ctx,
+                                               uint64_t image_seed = 17) {
+    rt.set_observer(nullptr);
+    util::Rng r(image_seed);
+    pool.simulate_power_failure(r);
+    report = rt.recover(ctx);
+    return report;
+  }
+
+  /// Durable-linearizability verdict on the recovered heap.
+  Oracle::Result verify() const { return oracle.verify(); }
+
+  nvm::Pool pool;
+  ptm::Runtime rt;
+  Oracle oracle;
+  stats::RecoveryReport report;
+};
+
+}  // namespace fault

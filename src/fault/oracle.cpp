@@ -1,0 +1,163 @@
+#include "fault/oracle.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "nvm/memory.h"
+#include "nvm/pool.h"
+
+namespace fault {
+
+namespace {
+
+// More in-flight workers than this means something is wrong with the
+// harness (a crash freezes execution; only genuinely concurrent workers
+// can be mid-transaction), so refuse rather than enumerate 2^k subsets.
+constexpr size_t kMaxInFlight = 16;
+
+std::string format(const char* fmt, uint64_t a, uint64_t b, uint64_t c) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), fmt, static_cast<unsigned long long>(a),
+                static_cast<unsigned long long>(b), static_cast<unsigned long long>(c));
+  return std::string(buf);
+}
+
+}  // namespace
+
+Oracle::Oracle(nvm::Pool& pool)
+    : pool_(pool), hist_(static_cast<size_t>(pool.config().max_workers)) {}
+
+void Oracle::start() {
+  snap_.resize(pool_.size());
+  std::memcpy(snap_.data(), pool_.base(), pool_.size());
+  for (WorkerHist& h : hist_) {
+    h.pending.clear();
+    h.committed.clear();
+  }
+}
+
+void Oracle::on_begin(int worker) { hist_[static_cast<size_t>(worker)].pending.clear(); }
+
+void Oracle::on_write(int worker, uint64_t off, uint64_t val) {
+  hist_[static_cast<size_t>(worker)].pending.push_back(WriteRec{off, val});
+}
+
+void Oracle::on_commit(int worker, uint64_t ticket) {
+  WorkerHist& h = hist_[static_cast<size_t>(worker)];
+  if (!h.pending.empty()) {
+    h.committed.push_back(CommittedTx{ticket, std::move(h.pending)});
+  }
+  h.pending.clear();
+}
+
+void Oracle::on_abort(int worker) {
+  // A crash unwinds through the abort path too (Runtime::run's catch-all
+  // calls handle_abort before rethrowing nvm::CrashPoint). At that point
+  // the transaction's commit record may already be durable even though
+  // on_commit never fired — e.g. the crash landed between the commit
+  // fence and the observer hook. Keep the pending set: verify() treats
+  // the worker as in-flight, whose effects may legally be fully present.
+  if (pool_.mem().crashed()) return;
+  hist_[static_cast<size_t>(worker)].pending.clear();
+}
+
+uint64_t Oracle::heap_word(uint64_t off) const {
+  uint64_t v;
+  std::memcpy(&v, pool_.base() + off, sizeof(v));
+  return v;
+}
+
+Oracle::Result Oracle::verify() const {
+  Result r;
+  if (snap_.empty()) {
+    r.detail = "oracle.start() was never called";
+    return r;
+  }
+
+  // Global commit order = ticket order (the orec clock is ticked inside
+  // the commit-side critical window, so tickets agree with the
+  // serialization order of conflicting transactions).
+  std::vector<const CommittedTx*> committed;
+  for (const WorkerHist& h : hist_) {
+    for (const CommittedTx& tx : h.committed) committed.push_back(&tx);
+  }
+  std::stable_sort(committed.begin(), committed.end(),
+                   [](const CommittedTx* a, const CommittedTx* b) {
+                     return a->ticket < b->ticket;
+                   });
+  r.committed = committed.size();
+
+  // Expected value at every touched offset, with committed effects applied.
+  std::unordered_map<uint64_t, uint64_t> expected;
+  std::unordered_set<uint64_t> touched;
+  for (const CommittedTx* tx : committed) {
+    for (const WriteRec& w : tx->writes) {
+      expected[w.off] = w.val;
+      touched.insert(w.off);
+    }
+  }
+
+  std::vector<const std::vector<WriteRec>*> inflight;
+  for (const WorkerHist& h : hist_) {
+    if (h.pending.empty()) continue;
+    inflight.push_back(&h.pending);
+    for (const WriteRec& w : h.pending) touched.insert(w.off);
+  }
+  r.in_flight = inflight.size();
+  if (inflight.size() > kMaxInFlight) {
+    r.detail = "too many in-flight workers to enumerate";
+    return r;
+  }
+
+  // Try every all-or-nothing inclusion of the in-flight transactions.
+  // An included transaction is one whose commit record reached the
+  // persistence domain before the failure; recovery replays (or keeps)
+  // its effects in full. Note an *unobserved*-committed transaction may
+  // serialize before an observed one — its writes could be overwritten
+  // by a later committed transaction on shared offsets — so inclusion
+  // applies the pending writes first only where no committed transaction
+  // touched the offset... except that would wrongly order it. In
+  // practice the only transactions still pending at the crash hold their
+  // orecs until after on_commit, so no observed-committed transaction
+  // can have raced past them on a shared offset; applying the included
+  // pending writes *over* the committed state is therefore exact.
+  const size_t k = inflight.size();
+  std::string first_fail;
+  for (uint64_t mask = 0; mask < (1ull << k); mask++) {
+    bool match = true;
+    for (uint64_t off : touched) {
+      uint64_t want;
+      auto it = expected.find(off);
+      if (it != expected.end()) {
+        want = it->second;
+      } else {
+        std::memcpy(&want, snap_.data() + off, sizeof(want));
+      }
+      for (size_t i = 0; i < k; i++) {
+        if (!(mask & (1ull << i))) continue;
+        for (const WriteRec& w : *inflight[i]) {
+          if (w.off == off) want = w.val;
+        }
+      }
+      const uint64_t got = heap_word(off);
+      if (got != want) {
+        if (first_fail.empty() || mask == 0) {
+          first_fail = format("offset 0x%llx: got 0x%llx want 0x%llx", off, got, want);
+        }
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      r.ok = true;
+      return r;
+    }
+  }
+  r.detail = "no all-or-nothing outcome matches the heap; e.g. " + first_fail;
+  return r;
+}
+
+}  // namespace fault

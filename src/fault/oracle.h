@@ -1,0 +1,86 @@
+// Durable-linearizability oracle.
+//
+// A DRAM-side shadow history recorder (ptm::TxObserver) plus a post-
+// recovery verifier. While a workload runs, the oracle records every
+// transaction's write set and, on success, its commit ticket (the orec
+// clock value, which is the commit order). After a simulated power
+// failure and Runtime::recover(), verify() proves the durable-
+// linearizability contract on the *actual heap bytes*, for any workload,
+// without hand-written invariants:
+//
+//  * every observed-committed transaction's effects are fully present, in
+//    ticket order;
+//  * each transaction in flight at the crash is all-or-nothing: its
+//    writes are either completely present (its commit record reached the
+//    persistence domain before the failure — the legal "in-flight
+//    included" outcome) or completely absent;
+//  * no other value appears at any offset the history touched.
+//
+// The in-flight side is checked by enumerating every subset of in-flight
+// workers (at most a handful are mid-transaction at a crash) and testing
+// whether some all-or-nothing inclusion explains the heap exactly.
+//
+// Recording is per-worker (no shared mutable state), so the hooks are
+// safe under real-thread and DES execution alike. The heap snapshot taken
+// at start() provides pre-history values — snapshotting, rather than
+// capturing pre-images at on_write time, avoids racing with orec-eager's
+// speculative in-place stores.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ptm/runtime.h"
+
+namespace fault {
+
+class Oracle : public ptm::TxObserver {
+ public:
+  explicit Oracle(nvm::Pool& pool);
+
+  /// Snapshot the heap and reset all recorded history. Call after
+  /// population / checkpoint, before installing the oracle with
+  /// Runtime::set_observer(&oracle).
+  void start();
+
+  // ptm::TxObserver hooks (called by the runtime on worker threads).
+  void on_begin(int worker) override;
+  void on_write(int worker, uint64_t off, uint64_t val) override;
+  void on_commit(int worker, uint64_t ticket) override;
+  void on_abort(int worker) override;
+
+  struct Result {
+    bool ok = false;
+    std::string detail;     // first counterexample, for failure reports
+    size_t committed = 0;   // committed transactions checked
+    size_t in_flight = 0;   // workers mid-transaction at the crash
+  };
+
+  /// Check the pool's current contents (call after power failure +
+  /// recovery, with the observer detached). Read-only; may be called
+  /// repeatedly.
+  Result verify() const;
+
+ private:
+  struct WriteRec {
+    uint64_t off;
+    uint64_t val;
+  };
+  struct CommittedTx {
+    uint64_t ticket;
+    std::vector<WriteRec> writes;
+  };
+  struct WorkerHist {
+    std::vector<WriteRec> pending;      // current attempt's writes
+    std::vector<CommittedTx> committed; // this worker's committed txs
+  };
+
+  uint64_t heap_word(uint64_t off) const;
+
+  nvm::Pool& pool_;
+  std::vector<unsigned char> snap_;  // heap bytes at start()
+  std::vector<WorkerHist> hist_;     // indexed by worker id
+};
+
+}  // namespace fault

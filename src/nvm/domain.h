@@ -17,6 +17,20 @@ namespace nvm {
 /// battery-backed DRAM while data pages stay on Optane (paper §IV.B).
 enum class Space : uint8_t { kData = 0, kLog = 1 };
 
+/// Which unfenced lines spontaneously reach the persistence domain at an
+/// ADR power failure (crash_sim only). The random modes are what a real
+/// cache does; the directed schedules are adversarial probes for persist-
+/// ordering bugs — e.g. kDataFirst persists every in-place data store
+/// while dropping every unfenced log line, which breaks any algorithm
+/// that writes data before its undo record is fenced.
+enum class WritebackAdversary : uint8_t {
+  kRandom = 0,     // independent coin per line (crash_*_prob) — default
+  kNone = 1,       // nothing unfenced persists (strictest WPQ-only ADR)
+  kAll = 2,        // everything persists (eADR-like; ordering bugs hide)
+  kLogFirst = 3,   // unfenced log lines persist, unfenced data lines drop
+  kDataFirst = 4,  // unfenced data lines persist, unfenced log lines drop
+};
+
 struct SystemConfig {
   Media media = Media::kOptane;   // backing media of the persistent heap
   Domain domain = Domain::kAdr;
@@ -38,6 +52,16 @@ struct SystemConfig {
   // real cache/WPQ might spontaneously write it back before the failure.
   double crash_evict_prob = 0.3;
   double crash_pending_prob = 0.5;
+
+  /// Sub-line tearing under ADR: when set, an unfenced line persists as a
+  /// random 8-byte-aligned *subset* of its words instead of all-or-
+  /// nothing, matching real ADR's 8-byte store atomicity. Fenced lines
+  /// are still atomic (the WPQ drained them whole before the fence
+  /// retired). crash_sim only; no effect on other domains.
+  bool torn_stores = false;
+
+  /// Which unfenced lines spontaneously persist at an ADR failure.
+  WritebackAdversary writeback_adversary = WritebackAdversary::kRandom;
 
   CostModel cost;
 

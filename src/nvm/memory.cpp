@@ -1,6 +1,7 @@
 #include "nvm/memory.h"
 
 #include <cassert>
+#include <cstdio>
 #include <cstring>
 
 #include "stats/trace.h"
@@ -269,23 +270,55 @@ void Memory::track_store(const void* addr, size_t len) {
   }
 }
 
+void Memory::persist_unfenced(util::Rng& rng, uint64_t line, const unsigned char* src,
+                              double prob) {
+  bool persists;
+  switch (cfg_.writeback_adversary) {
+    case WritebackAdversary::kNone:
+      persists = false;
+      break;
+    case WritebackAdversary::kAll:
+      persists = true;
+      break;
+    case WritebackAdversary::kLogFirst:
+      persists = is_log_line(line);
+      break;
+    case WritebackAdversary::kDataFirst:
+      persists = !is_log_line(line);
+      break;
+    case WritebackAdversary::kRandom:
+    default:
+      persists = rng.next_double() < prob;
+      break;
+  }
+  if (!persists) return;
+  unsigned char* dst = image_.get() + line * kLineBytes;
+  if (!cfg_.torn_stores) {
+    std::memcpy(dst, src, kLineBytes);
+    return;
+  }
+  // Real ADR only guarantees 8-byte store atomicity: an unfenced line
+  // lands as an arbitrary aligned-word subset, never a partial word.
+  for (size_t w = 0; w < kLineBytes / 8; w++) {
+    if (rng.next_double() < 0.5) std::memcpy(dst + w * 8, src + w * 8, 8);
+  }
+}
+
 void Memory::resolve_crash_image(util::Rng& rng) {
   if (cfg_.domain == Domain::kAdr) {
     // clwb'd-but-unfenced lines *may* have drained before the failure.
     for (auto& pend : pending_) {
       for (const PendingLine& p : pend) {
-        if (rng.next_double() < cfg_.crash_pending_prob) {
-          std::memcpy(image_.get() + p.line * kLineBytes, p.bytes, kLineBytes);
-        }
+        persist_unfenced(rng, p.line, p.bytes, cfg_.crash_pending_prob);
       }
       pend.clear();
     }
     // Other dirty lines may have been spontaneously evicted (with whatever
     // content they hold now — an approximation; see DESIGN.md).
     for (uint64_t line : dirty_list_) {
-      if (rng.next_double() < cfg_.crash_evict_prob) {
-        std::memcpy(image_.get() + line * kLineBytes, base_ + line * kLineBytes, kLineBytes);
-      }
+      persist_unfenced(rng, line,
+                       reinterpret_cast<const unsigned char*>(base_) + line * kLineBytes,
+                       cfg_.crash_evict_prob);
     }
   } else {
     // eADR / PDRAM / PDRAM-Lite: the reserve power flushes caches (and, for
@@ -294,6 +327,53 @@ void Memory::resolve_crash_image(util::Rng& rng) {
       std::memcpy(image_.get() + line * kLineBytes, base_ + line * kLineBytes, kLineBytes);
     }
     for (auto& pend : pending_) pend.clear();
+  }
+  apply_media_faults();
+}
+
+void Memory::apply_media_faults() {
+  // A poisoned line's stored content is gone no matter what the domain
+  // persisted; the scramble pattern makes accidental reliance on it loud.
+  for (uint64_t line : poisoned_lines_) {
+    if (line < num_lines_) std::memset(image_.get() + line * kLineBytes, 0xBD, kLineBytes);
+  }
+}
+
+void Memory::inject_media_fault(uint64_t line) {
+  assert(cfg_.crash_sim && "media-fault injection requires crash_sim=true");
+  std::lock_guard<std::mutex> lk(track_mu_);
+  poisoned_lines_.push_back(line);
+}
+
+bool Memory::media_faulted(const void* addr, size_t len) const {
+  std::lock_guard<std::mutex> lk(track_mu_);
+  if (poisoned_lines_.empty()) return false;
+  const uint64_t first = line_of(addr);
+  const uint64_t last = line_of(static_cast<const char*>(addr) + (len ? len - 1 : 0));
+  for (uint64_t line : poisoned_lines_) {
+    if (line >= first && line <= last) return true;
+  }
+  return false;
+}
+
+void Memory::clear_media_faults() {
+  std::lock_guard<std::mutex> lk(track_mu_);
+  poisoned_lines_.clear();
+}
+
+size_t Memory::media_fault_count() const {
+  std::lock_guard<std::mutex> lk(track_mu_);
+  return poisoned_lines_.size();
+}
+
+void Memory::drop_log_line_range() {
+  log_range_drops_.fetch_add(1, std::memory_order_relaxed);
+  if (!log_range_drop_warned_.exchange(true, std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "nvm::Memory: log line-range table full (%zu ranges); further "
+                 "overflow-segment ranges will be treated as data for media "
+                 "routing (PDRAM-Lite timing only, not a correctness issue)\n",
+                 kMaxExtraLogRanges);
   }
 }
 

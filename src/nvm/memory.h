@@ -49,6 +49,9 @@ struct CrashPoint {};
 class Memory {
  public:
   static constexpr uint64_t kLineBytes = 64;
+  /// Fixed capacity of the extra log-line-range table (see
+  /// add_log_line_range); registrations beyond it are counted as drops.
+  static constexpr size_t kMaxExtraLogRanges = 256;
 
   Memory(const SystemConfig& cfg, char* base, size_t size);
 
@@ -120,6 +123,20 @@ class Memory {
   /// lines persist, then revert the live heap to the persisted image.
   void simulate_power_failure(util::Rng& rng);
 
+  // ----- media faults ----------------------------------------------------
+
+  /// Poison one cache line: at the next power failure its persisted
+  /// content is lost (scrambled), modelling an Optane media fault / bad
+  /// block. Recovery must consult media_faulted() instead of trusting the
+  /// bytes — real hardware raises a machine check on such reads.
+  void inject_media_fault(uint64_t line);
+
+  /// True when any line covering [addr, addr+len) is poisoned.
+  bool media_faulted(const void* addr, size_t len) const;
+
+  void clear_media_faults();
+  size_t media_fault_count() const;
+
   /// Mark the current live heap contents as fully persisted (used after
   /// population so crash tests measure only the workload's transactions).
   void checkpoint_all_persistent();
@@ -152,14 +169,23 @@ class Memory {
 
   /// Register an additional log line range (overflow log segments are heap
   /// allocations, discontiguous from the worker-meta region). Best-effort:
-  /// the table is fixed-size and further ranges are silently dropped — the
+  /// the table is fixed-size and further ranges are dropped — the
   /// classification is a media-routing hint (PDRAM-Lite), never a
-  /// correctness input.
+  /// correctness input — but a drop is counted and warned once, because
+  /// under PDRAM-Lite it silently misroutes log traffic to Optane timing.
   void add_log_line_range(uint64_t lo, uint64_t hi) {
     const size_t i = n_extra_log_ranges_.load(std::memory_order_relaxed);
-    if (i >= kMaxExtraLogRanges) return;
+    if (i >= kMaxExtraLogRanges) {
+      drop_log_line_range();
+      return;
+    }
     extra_log_ranges_[i] = {lo, hi};
     n_extra_log_ranges_.store(i + 1, std::memory_order_release);
+  }
+
+  /// Log-range registrations dropped because the table was full.
+  uint64_t log_range_drops() const {
+    return log_range_drops_.load(std::memory_order_relaxed);
   }
 
   uint64_t line_of(const void* addr) const {
@@ -213,6 +239,18 @@ class Memory {
   // holds track_mu_).
   void resolve_crash_image(util::Rng& rng);
 
+  // ADR only: decide (per the writeback adversary) whether an *unfenced*
+  // line's content reaches the image, and copy it — whole when line-
+  // atomic, or a random 8-byte-word subset under torn_stores. `prob` is
+  // the kRandom mode's coin. Caller holds track_mu_.
+  void persist_unfenced(util::Rng& rng, uint64_t line, const unsigned char* src,
+                        double prob);
+
+  // Scramble poisoned lines in the image (caller holds track_mu_).
+  void apply_media_faults();
+
+  void drop_log_line_range();
+
   BandwidthChannel& read_chan(Media m) {
     return m == Media::kDram ? dram_read_ : optane_read_;
   }
@@ -244,13 +282,16 @@ class Memory {
   BandwidthChannel dram_read_, dram_write_, optane_read_, optane_write_;
 
   uint64_t log_line_lo_ = 0, log_line_hi_ = 0;
-  static constexpr size_t kMaxExtraLogRanges = 256;
   std::array<std::pair<uint64_t, uint64_t>, kMaxExtraLogRanges> extra_log_ranges_{};
   std::atomic<size_t> n_extra_log_ranges_{0};
   std::atomic<uint64_t> event_count_{0};
 
+  std::atomic<uint64_t> log_range_drops_{0};
+  std::atomic<bool> log_range_drop_warned_{false};
+
   // Crash-simulation state (guarded: real-thread tests may race on it).
-  std::mutex track_mu_;
+  mutable std::mutex track_mu_;
+  std::vector<uint64_t> poisoned_lines_;         // injected media faults
   std::unique_ptr<unsigned char[]> image_;       // persisted bytes
   std::vector<uint64_t> dirty_bitmap_;           // 1 bit per line
   std::vector<uint64_t> dirty_list_;             // unique dirty line ids

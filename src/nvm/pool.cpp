@@ -14,6 +14,11 @@ Pool::Pool(const SystemConfig& cfg) : cfg_(cfg) {
   if (cfg_.pool_size < min_size) {
     throw std::invalid_argument("pool_size too small for layout");
   }
+  // Log records pack pool offsets into 32 bits (ptm::LogEntry::kOffBits;
+  // the freed bits hold the per-record checksum), so the pool must fit.
+  if (cfg_.pool_size > (1ull << 32)) {
+    throw std::invalid_argument("pool_size exceeds the 4 GB log-offset limit");
+  }
 
   void* p = nullptr;
   if (posix_memalign(&p, 4096, cfg_.pool_size) != 0) throw std::bad_alloc();

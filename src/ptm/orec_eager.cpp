@@ -96,6 +96,7 @@ void Tx::eager_commit() {
   }
 
   const uint64_t wv = rt_->orecs().tick();
+  commit_ticket_ = wv;
   if (wv != start_time_ + 1) {
     stats::PhaseTimer vt(*ctx_, &c_->phases, stats::Phase::kValidate);
     if (!validate_read_set()) abort_tx(stats::AbortCause::kValidation);

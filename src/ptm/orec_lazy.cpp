@@ -9,6 +9,7 @@
 
 #include "ptm/runtime.h"
 #include "ptm/tx.h"
+#include "util/crc32.h"
 
 namespace ptm {
 
@@ -41,9 +42,13 @@ void Tx::lazy_write(uint64_t* waddr, uint64_t val) {
   const int64_t idx = windex_.lookup(off);
   if (idx >= 0) {
     // Update in place in the log (latest value wins at write-back).
-    rt_->pool().mem().store_word(*ctx_, c_,
-                                 &slot_.entry_at(static_cast<size_t>(idx))->val, val,
-                                 nvm::Space::kLog);
+    LogEntry* e = slot_.entry_at(static_cast<size_t>(idx));
+    rt_->pool().mem().store_word(*ctx_, c_, &e->val, val, nvm::Space::kLog);
+    if (crc_logs_) {
+      // The record checksum covers the value; reseal the off word.
+      rt_->pool().mem().store_word(*ctx_, c_, &e->off, LogEntry::seal(e->off, val),
+                                   nvm::Space::kLog);
+    }
     return;
   }
   if (!windex_.insert(off, static_cast<int64_t>(n_log_))) {
@@ -90,6 +95,7 @@ void Tx::lazy_commit() {
 
   // 2. Linearization point setup: take a commit timestamp.
   const uint64_t wv = orecs.tick();
+  commit_ticket_ = wv;
 
   // 3. Validate the read set (skippable when nothing committed since begin).
   if (wv != start_time_ + 1) {
@@ -108,6 +114,19 @@ void Tx::lazy_commit() {
     mem.store_word(*ctx_, c_, &slot_.header->log_count, n_log_, nvm::Space::kLog);
     mem.store_word(*ctx_, c_, &slot_.header->algo, static_cast<uint64_t>(algo_),
                    nvm::Space::kLog);
+    if (crc_logs_) {
+      // Whole-log checksum (crash-sim configs): recovery cross-checks the
+      // committed record set beyond the per-record crcs. Persisted by the
+      // header flush below, *before* the commit-status flip, so a torn
+      // header line can never pair a new status with a stale checksum.
+      uint32_t lc = 0;
+      for (size_t i = 0; i < n_log_; i++) {
+        const LogEntry* e = slot_.entry_at(i);
+        lc = util::crc32c_u64(e->val, util::crc32c_u64(e->off, lc));
+      }
+      mem.store_word(*ctx_, c_, &slot_.header->pad[SlotLayout::kLogCrcPad], lc,
+                     nvm::Space::kLog);
+    }
     persist_log_range(0, n_log_);
     persist_slot_header();
     mem.sfence(*ctx_, c_);

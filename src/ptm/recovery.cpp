@@ -7,74 +7,203 @@
 //    (undo logs are rolled back; redo logs and speculative allocations are
 //    discarded).
 // This is the "linearizable durability" contract ([10]) the paper's PTMs
-// provide. Replay is idempotent, so a crash during recovery is safe.
+// provide. Replay is idempotent, so a crash during recovery is safe
+// (tests/test_crash.cpp's CrashDuringRecoveryIsSafe sweeps a crash through
+// every persistence event of a recovery replay to pin this).
+//
+// Defensive posture: nothing persisted is trusted until validated.
+// Counts are clamped to attached capacity, segment links are bounds- and
+// magic-checked (SlotLayout::attach_segments), record offsets must land
+// in a writable data region (root area or heap — never the pool header
+// or the log slots themselves, which a corrupt record could otherwise
+// scribble over), and on crash-sim configurations each record's CRC is
+// verified (torn records are *detected*, not inferred) and poisoned
+// lines reported by the media-fault model are refused. Everything
+// recovery applied or discarded is tallied in the returned
+// stats::RecoveryReport.
 #include <algorithm>
 
 #include "ptm/runtime.h"
+#include "util/crc32.h"
 
 namespace ptm {
 
-void Runtime::recover(sim::ExecContext& ctx) {
+stats::RecoveryReport Runtime::recover(sim::ExecContext& ctx) {
   // All speculation state is volatile and died with the crash.
   orecs_.reset();
 
   nvm::Memory& mem = pool_.mem();
   stats::TxCounters* c = nullptr;  // recovery is not part of measured runs
+  stats::RecoveryReport rep;
+
+  // CRC sealing and media-fault injection only exist on crash-sim
+  // configurations; on performance configurations the crc fields are zero
+  // by construction and must not be checked.
+  const bool checked = pool_.config().crash_sim;
+  rep.media_faults = checked ? mem.media_fault_count() : 0;
+
+  // Writable data regions: the application root area and the persistent
+  // heap. A record pointing anywhere else (pool header, worker-meta/log
+  // slots, out of bounds, misaligned) is corrupt — applying it could
+  // destroy the very metadata recovery is walking.
+  const uint64_t meta_lo = pool_.header()->meta_off;
+  const uint64_t heap_lo = pool_.header()->heap_off;
+  const uint64_t pool_size = pool_.size();
+  auto valid_data_off = [&](uint64_t off) {
+    if ((off & 7) != 0 || off + 8 > pool_size) return false;
+    const bool in_root = off >= nvm::Pool::kHeaderBytes && off < meta_lo;
+    const bool in_heap = off >= heap_lo;
+    return in_root || in_heap;
+  };
+  auto valid_heap_off = [&](uint64_t off) {
+    return (off & 7) == 0 && off >= heap_lo && off + 8 <= pool_size;
+  };
 
   for (int w = 0; w < pool_.config().max_workers; w++) {
     SlotLayout slot = SlotLayout::carve(pool_.worker_meta(w), pool_.worker_meta_bytes());
-    // Rebuild the overflow-segment chain from its persisted links — the
-    // crashed transaction's log may extend past the in-slot array.
-    slot.attach_segments(pool_);
-    const uint64_t status = slot.header->status;
-    const uint64_t state = TxSlotHeader::state_of(status);
-    const uint64_t epoch = TxSlotHeader::epoch_of(status);
-    // Clamp the persisted counts: a corrupt count must not walk past the
-    // log arrays (epoch tags already reject any stale records inside).
-    const uint64_t n_log = std::min<uint64_t>(slot.header->log_count, slot.total_capacity);
-    const uint64_t n_alloc = std::min<uint64_t>(slot.header->alloc_count, slot.alloc_log_cap);
-    const auto algo = static_cast<Algo>(slot.header->algo);
+    rep.slots_scanned++;
 
-    if (state == TxSlotHeader::kCommitted) {
-      if (algo == Algo::kOrecLazy) {
-        // Replay the redo log forward; write-back may have been partial.
-        for (uint64_t i = 0; i < n_log; i++) {
-          // Skip records whose epoch tag is stale (partially persisted log).
-          const LogEntry* e = slot.entry_at(i);
-          if (!LogEntry::tag_matches(e->off, epoch)) continue;
-          auto* home = static_cast<uint64_t*>(pool_.at(LogEntry::offset_of(e->off)));
-          mem.store_word(ctx, c, home, e->val, nvm::Space::kData);
-          mem.clwb(ctx, c, home);
-        }
-        mem.sfence(ctx, c);
-      }
-      // Committed transactions' deferred frees must take effect.
-      for (uint64_t i = 0; i < n_alloc; i++) {
-        const uint64_t word = slot.alloc_log[i];
-        if (!AllocLogOp::tag_matches(word, epoch)) continue;
-        if (AllocLogOp::op_of(word) == AllocLogOp::kFree) {
-          alloc_.free_block_if_absent(ctx, c, pool_.at(AllocLogOp::off_of(word)));
-        }
-      }
+    if (checked && mem.media_faulted(slot.header, sizeof(TxSlotHeader))) {
+      // The header line is gone: state, counts and epoch are all
+      // untrustworthy, so neither replay nor rollback is possible. Count
+      // the loss and fall through to the quiesce below, which rebuilds the
+      // header as an empty IDLE slot (epoch continuity does not matter —
+      // any surviving records become stale debris for the next epoch).
+      rep.records_media_faulted++;
     } else {
-      // IDLE or ACTIVE: the transaction did not commit.
-      if (state == TxSlotHeader::kActive && algo == Algo::kOrecEager) {
-        // Roll back in-place writes, newest first.
-        for (uint64_t i = n_log; i-- > 0;) {
-          const LogEntry* e = slot.entry_at(i);
-          if (!LogEntry::tag_matches(e->off, epoch)) continue;
-          auto* home = static_cast<uint64_t*>(pool_.at(LogEntry::offset_of(e->off)));
-          mem.store_word(ctx, c, home, e->val, nvm::Space::kData);
-          mem.clwb(ctx, c, home);
+      // Rebuild the overflow-segment chain from its persisted links — the
+      // crashed transaction's log may extend past the in-slot array.
+      rep.segment_links_truncated += slot.attach_segments(pool_);
+      const uint64_t status = slot.header->status;
+      const uint64_t state = TxSlotHeader::state_of(status);
+      const uint64_t epoch = TxSlotHeader::epoch_of(status);
+      // Clamp the persisted counts: a corrupt count must not walk past the
+      // log arrays (per-record tags/crcs still screen what is inside).
+      const uint64_t n_log = std::min<uint64_t>(slot.header->log_count, slot.total_capacity);
+      const uint64_t n_alloc =
+          std::min<uint64_t>(slot.header->alloc_count, slot.alloc_log_cap);
+      const auto algo = static_cast<Algo>(slot.header->algo);
+
+      // Validate one write-log record; returns nullptr when it must not be
+      // applied (each rejection lands in exactly one report bucket).
+      auto screen_entry = [&](uint64_t i) -> const LogEntry* {
+        const LogEntry* e = slot.entry_at(i);
+        if (checked && mem.media_faulted(e, sizeof(LogEntry))) {
+          // Poisoned bytes could masquerade as anything — attribute to the
+          // media before looking at the content.
+          rep.records_media_faulted++;
+          return nullptr;
         }
-        mem.sfence(ctx, c);
-      }
-      // Cancel speculative allocations (idempotent membership check).
-      for (uint64_t i = 0; i < n_alloc; i++) {
-        const uint64_t word = slot.alloc_log[i];
-        if (!AllocLogOp::tag_matches(word, epoch)) continue;
-        if (AllocLogOp::op_of(word) == AllocLogOp::kAlloc) {
-          alloc_.free_block_if_absent(ctx, c, pool_.at(AllocLogOp::off_of(word)));
+        if (!LogEntry::tag_matches(e->off, epoch)) {
+          rep.records_stale++;  // ordinary partial-persistence debris
+          return nullptr;
+        }
+        if (checked && !LogEntry::crc_ok(e->off, e->val)) {
+          rep.records_torn++;  // sub-line tearing caught red-handed
+          return nullptr;
+        }
+        if (!valid_data_off(LogEntry::offset_of(e->off))) {
+          rep.records_invalid++;
+          return nullptr;
+        }
+        return e;
+      };
+
+      if (state == TxSlotHeader::kCommitted) {
+        rep.slots_committed++;
+        if (algo == Algo::kOrecLazy) {
+          if (checked && n_log > 0) {
+            // Cross-check the whole committed record set against the
+            // checksum the committer sealed into the header. A mismatch
+            // means the log does not match what was committed (media
+            // damage, truncated chain): per-record screening still
+            // replays every provably-good record, but the damage is
+            // reported rather than silently absorbed.
+            uint32_t lc = 0;
+            for (uint64_t i = 0; i < n_log; i++) {
+              const LogEntry* e = slot.entry_at(i);
+              lc = util::crc32c_u64(e->val, util::crc32c_u64(e->off, lc));
+            }
+            if (lc != static_cast<uint32_t>(slot.header->pad[SlotLayout::kLogCrcPad])) {
+              rep.log_crc_mismatches++;
+            }
+          }
+          // Replay the redo log forward; write-back may have been partial.
+          for (uint64_t i = 0; i < n_log; i++) {
+            const LogEntry* e = screen_entry(i);
+            if (e == nullptr) continue;
+            auto* home = static_cast<uint64_t*>(pool_.at(LogEntry::offset_of(e->off)));
+            mem.store_word(ctx, c, home, e->val, nvm::Space::kData);
+            mem.clwb(ctx, c, home);
+            rep.records_replayed++;
+          }
+          mem.sfence(ctx, c);
+        }
+        // Committed transactions' deferred frees must take effect.
+        for (uint64_t i = 0; i < n_alloc; i++) {
+          const uint64_t word = slot.alloc_log[i];
+          if (checked && mem.media_faulted(&slot.alloc_log[i], 8)) {
+            rep.records_media_faulted++;
+            continue;
+          }
+          if (!AllocLogOp::tag_matches(word, epoch)) {
+            rep.records_stale++;
+            continue;
+          }
+          if (checked && !AllocLogOp::crc_ok(word)) {
+            rep.records_torn++;
+            continue;
+          }
+          if (AllocLogOp::op_of(word) == AllocLogOp::kFree) {
+            if (!valid_heap_off(AllocLogOp::off_of(word))) {
+              rep.records_invalid++;
+              continue;
+            }
+            alloc_.free_block_if_absent(ctx, c, pool_.at(AllocLogOp::off_of(word)));
+            rep.frees_applied++;
+          }
+        }
+      } else {
+        // IDLE or ACTIVE: the transaction did not commit.
+        if (state == TxSlotHeader::kActive && algo == Algo::kOrecEager) {
+          rep.slots_rolled_back++;
+          // Roll back in-place writes, newest first. A record that fails
+          // its crc was never fence-ordered before the crash — which also
+          // means its in-place store never executed, so *skipping* it is
+          // the correct rollback, not a loss.
+          for (uint64_t i = n_log; i-- > 0;) {
+            const LogEntry* e = screen_entry(i);
+            if (e == nullptr) continue;
+            auto* home = static_cast<uint64_t*>(pool_.at(LogEntry::offset_of(e->off)));
+            mem.store_word(ctx, c, home, e->val, nvm::Space::kData);
+            mem.clwb(ctx, c, home);
+            rep.records_replayed++;
+          }
+          mem.sfence(ctx, c);
+        }
+        // Cancel speculative allocations (idempotent membership check).
+        for (uint64_t i = 0; i < n_alloc; i++) {
+          const uint64_t word = slot.alloc_log[i];
+          if (checked && mem.media_faulted(&slot.alloc_log[i], 8)) {
+            rep.records_media_faulted++;
+            continue;
+          }
+          if (!AllocLogOp::tag_matches(word, epoch)) {
+            rep.records_stale++;
+            continue;
+          }
+          if (checked && !AllocLogOp::crc_ok(word)) {
+            rep.records_torn++;
+            continue;
+          }
+          if (AllocLogOp::op_of(word) == AllocLogOp::kAlloc) {
+            if (!valid_heap_off(AllocLogOp::off_of(word))) {
+              rep.records_invalid++;
+              continue;
+            }
+            alloc_.free_block_if_absent(ctx, c, pool_.at(AllocLogOp::off_of(word)));
+            rep.allocs_cancelled++;
+          }
         }
       }
     }
@@ -82,6 +211,7 @@ void Runtime::recover(sim::ExecContext& ctx) {
     // Quiesce the slot for the next epoch (skipping tag 0 — reserved for
     // zeroed log memory — with a durable full-log wipe at the wrap, same
     // rule as Tx::retire_logs).
+    const uint64_t epoch = TxSlotHeader::epoch_of(slot.header->status);
     uint64_t next_epoch = epoch + 1;
     if ((next_epoch & LogEntry::kTagMask) == 0) {
       zero_slot_logs(pool_, ctx, c, slot);
@@ -103,6 +233,7 @@ void Runtime::recover(sim::ExecContext& ctx) {
     txs_[static_cast<size_t>(w)]->n_alloc_log_ = 0;
     txs_[static_cast<size_t>(w)]->slot_.attach_segments(pool_);
   }
+  return rep;
 }
 
 }  // namespace ptm

@@ -3,8 +3,25 @@
 #include <cassert>
 
 #include "nvm/pool.h"
+#include "util/crc32.h"
 
 namespace ptm {
+
+uint8_t LogEntry::crc_of(uint64_t off_word, uint64_t val_word) {
+  return static_cast<uint8_t>(
+      util::crc32c_u64(val_word, util::crc32c_u64(off_word & ~kCrcMask)));
+}
+
+uint64_t AllocLogOp::seal(uint64_t w) {
+  const uint64_t base = w & ~LogEntry::kCrcMask;
+  const uint8_t crc = static_cast<uint8_t>(util::crc32c_u64(base));
+  return base | (static_cast<uint64_t>(crc) << LogEntry::kCrcShift);
+}
+
+bool AllocLogOp::crc_ok(uint64_t w) {
+  return static_cast<uint8_t>(util::crc32c_u64(w & ~LogEntry::kCrcMask)) ==
+         static_cast<uint8_t>(w >> LogEntry::kCrcShift);
+}
 
 SlotLayout SlotLayout::carve(char* slot_base, size_t slot_bytes) {
   constexpr size_t kAllocLogCap = 256;
@@ -20,7 +37,7 @@ SlotLayout SlotLayout::carve(char* slot_base, size_t slot_bytes) {
   return l;
 }
 
-void SlotLayout::attach_segments(nvm::Pool& pool) {
+size_t SlotLayout::attach_segments(nvm::Pool& pool) {
   segs.clear();
   seg_caps.clear();
   total_capacity = log_capacity;
@@ -38,17 +55,18 @@ void SlotLayout::attach_segments(nvm::Pool& pool) {
     // A link that never fully persisted (or pre-format garbage) truncates
     // the chain here; that only sheds spare capacity, never records —
     // log_count can only cover a segment whose link install committed.
-    if (off < sizeof(nvm::PoolHeader) || off + sizeof(LogSegment) > pool_size) break;
+    if (off < sizeof(nvm::PoolHeader) || off + sizeof(LogSegment) > pool_size) return 1;
     auto* seg = static_cast<LogSegment*>(pool.at(off));
-    if (seg->magic != LogSegment::kMagic) break;
+    if (seg->magic != LogSegment::kMagic) return 1;
     const uint64_t cap = seg->capacity;
-    if (cap == 0 || off + sizeof(LogSegment) + cap * sizeof(LogEntry) > pool_size) break;
+    if (cap == 0 || off + sizeof(LogSegment) + cap * sizeof(LogEntry) > pool_size) return 1;
     segs.push_back(seg);
     seg_caps.push_back(static_cast<size_t>(cap));
     total_capacity += static_cast<size_t>(cap);
-    if (segs.size() > 64) break;  // cycle guard (corrupt chain)
+    if (segs.size() > 64) return 1;  // cycle guard (corrupt chain)
     link = std::atomic_ref<const uint64_t>(seg->next).load(std::memory_order_acquire);
   }
+  return 0;
 }
 
 void zero_slot_logs(nvm::Pool& pool, sim::ExecContext& ctx, stats::TxCounters* c,

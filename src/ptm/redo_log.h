@@ -53,26 +53,54 @@ namespace ptm {
 /// overflow segment, or a wrap-quiesced slot — can never alias a live
 /// record. The wrap itself (2^24 epochs) is handled by a durable full-slot
 /// quiesce; see Tx::retire_logs and docs/LOGGING.md.
+///
+/// Bits 39..32 of `off` hold a per-record checksum: the low 8 bits of the
+/// CRC32C of the record's 16 bytes (with the crc field itself zeroed).
+/// The tag defends against *stale* records; the crc defends against
+/// *torn* ones — under real ADR only 8-byte stores are failure-atomic, so
+/// a crash can persist a record's `off` word without its `val` word (or a
+/// random sub-line subset, see nvm::SystemConfig::torn_stores). Sealed
+/// records are only produced on crash-sim configurations; performance
+/// runs leave the field zero, keeping the log bytes identical to a build
+/// without this feature. Recovery checks the crc only when crash_sim is
+/// on, and only on tag-matching records.
 struct LogEntry {
-  static constexpr int kOffBits = 40;  // pools up to 1 TB
+  static constexpr int kOffBits = 32;  // pools up to 4 GB
   static constexpr uint64_t kOffMask = (1ull << kOffBits) - 1;
-  static constexpr uint64_t kTagMask = (1ull << (64 - kOffBits)) - 1;
+  static constexpr int kCrcShift = 32;
+  static constexpr uint64_t kCrcMask = 0xffull << kCrcShift;
+  static constexpr int kTagShift = 40;
+  static constexpr uint64_t kTagMask = (1ull << (64 - kTagShift)) - 1;
 
-  uint64_t off;  // (epoch tag << kOffBits) | pool offset
+  uint64_t off;  // (epoch tag << 40) | (crc8 << 32) | pool offset
   uint64_t val;
 
   static uint64_t pack(uint64_t epoch, uint64_t offset) {
-    return (epoch << kOffBits) | (offset & kOffMask);
+    return (epoch << kTagShift) | (offset & kOffMask);
   }
   static uint64_t offset_of(uint64_t packed) { return packed & kOffMask; }
   static bool tag_matches(uint64_t packed, uint64_t epoch) {
-    return (packed >> kOffBits) == (epoch & kTagMask);
+    return (packed >> kTagShift) == (epoch & kTagMask);
+  }
+
+  /// Truncated CRC32C of a record (crc field treated as zero).
+  static uint8_t crc_of(uint64_t off_word, uint64_t val_word);
+  /// `packed` with the crc field filled in for value `val`.
+  static uint64_t seal(uint64_t packed, uint64_t val) {
+    const uint64_t base = packed & ~kCrcMask;
+    return base | (static_cast<uint64_t>(crc_of(base, val)) << kCrcShift);
+  }
+  static bool crc_ok(uint64_t packed, uint64_t val) {
+    return crc_of(packed & ~kCrcMask, val) ==
+           static_cast<uint8_t>(packed >> kCrcShift);
   }
 };
 
 /// Persistent per-worker slot header (first cache line of the slot).
 /// pad[0] (SlotLayout::kChainPad) holds the head of the overflow-segment
-/// chain as a SegPtr; the remaining pad words are reserved.
+/// chain as a SegPtr; pad[1] (SlotLayout::kLogCrcPad) holds a whole-log
+/// CRC32C written by the lazy commit on crash-sim configurations (zero
+/// otherwise); the remaining pad words are reserved.
 struct TxSlotHeader {
   static constexpr uint64_t kIdle = 0;
   static constexpr uint64_t kActive = 1;
@@ -92,18 +120,22 @@ static_assert(sizeof(TxSlotHeader) == 64);
 
 /// Alloc-log word: pool offset of the block payload with the operation in
 /// the low 3 bits (payloads are 8-byte aligned) and the transaction epoch
-/// in the top bits — same stale-record defence as LogEntry.
+/// in the top bits — same stale-record defence as LogEntry, with the same
+/// crc8 field in bits 39..32 (over the single word, crc field zeroed;
+/// filled only on crash-sim configurations).
 struct AllocLogOp {
   static constexpr uint64_t kAlloc = 1;
   static constexpr uint64_t kFree = 2;
   static uint64_t make(uint64_t off, uint64_t op, uint64_t epoch) {
-    return (epoch << LogEntry::kOffBits) | (off & LogEntry::kOffMask & ~7ull) | op;
+    return (epoch << LogEntry::kTagShift) | (off & LogEntry::kOffMask & ~7ull) | op;
   }
   static uint64_t off_of(uint64_t w) { return w & LogEntry::kOffMask & ~7ull; }
   static uint64_t op_of(uint64_t w) { return w & 7ull; }
   static bool tag_matches(uint64_t w, uint64_t epoch) {
     return LogEntry::tag_matches(w, epoch);
   }
+  static uint64_t seal(uint64_t w);
+  static bool crc_ok(uint64_t w);
 };
 
 /// Chain pointer to an overflow log segment: the pool offset of the
@@ -115,10 +147,10 @@ struct AllocLogOp {
 /// individual records inside a segment by the per-record epoch tags.
 struct SegPtr {
   static uint64_t make(uint64_t off, uint64_t epoch) {
-    return (epoch << LogEntry::kOffBits) | (off & LogEntry::kOffMask);
+    return (epoch << LogEntry::kTagShift) | (off & LogEntry::kOffMask);
   }
   static uint64_t off_of(uint64_t w) { return w & LogEntry::kOffMask & ~63ull; }
-  static uint64_t tag_of(uint64_t w) { return w >> LogEntry::kOffBits; }
+  static uint64_t tag_of(uint64_t w) { return w >> LogEntry::kTagShift; }
 };
 
 /// Header of one overflow log segment, bump-allocated from the persistent
@@ -145,7 +177,8 @@ static_assert(sizeof(LogSegment) == 64);
 /// Log record index space is linear: [0, log_capacity) lives in the slot,
 /// subsequent indices run through the segments in chain order.
 struct SlotLayout {
-  static constexpr size_t kChainPad = 0;  // header->pad word holding the chain head
+  static constexpr size_t kChainPad = 0;   // header->pad word holding the chain head
+  static constexpr size_t kLogCrcPad = 1;  // whole-log CRC32C (lazy commit, crash_sim)
 
   TxSlotHeader* header = nullptr;
   uint64_t* alloc_log = nullptr;  // alloc_log_cap words
@@ -164,7 +197,9 @@ struct SlotLayout {
   /// validating each link (bounds, alignment, magic) and stopping at the
   /// first invalid one — a link whose install never fully persisted simply
   /// truncates the chain, losing spare capacity but never correctness.
-  void attach_segments(nvm::Pool& pool);
+  /// Returns the number of links dropped by such truncation (0 or 1: the
+  /// walk stops at the first bad link), so recovery can report it.
+  size_t attach_segments(nvm::Pool& pool);
 
   /// Log record `i` of the linear index space, or nullptr past the end.
   LogEntry* entry_at(size_t i) {

@@ -14,6 +14,7 @@
 //   });
 #pragma once
 
+#include <exception>
 #include <memory>
 #include <vector>
 
@@ -21,6 +22,25 @@
 #include "stats/trace.h"
 
 namespace ptm {
+
+/// Shadow-instrumentation hook (DRAM-side, invisible to the persistence
+/// model): the fault-injection oracle records each transaction's write set
+/// and commit ticket through this interface. Callbacks fire on the
+/// worker's own thread; implementations must be safe for concurrent calls
+/// from different workers. on_write fires after the algorithm accepted the
+/// write (an aborting write never reaches it); on_commit fires exactly
+/// once per durably-committed transaction with its orec-clock ticket
+/// (commit order); on_abort fires after rollback completed.
+class TxObserver {
+ public:
+  virtual ~TxObserver() = default;
+  virtual void on_begin(int worker) { (void)worker; }
+  virtual void on_write(int worker, uint64_t off, uint64_t val) {
+    (void)worker; (void)off; (void)val;
+  }
+  virtual void on_commit(int worker, uint64_t ticket) { (void)worker; (void)ticket; }
+  virtual void on_abort(int worker) { (void)worker; }
+};
 
 class Runtime {
  public:
@@ -38,6 +58,14 @@ class Runtime {
     for (;;) {
       const uint64_t t0 = tracing ? ctx.now_ns() : 0;
       tx.begin();
+      // The catch handlers below must not yield to the DES scheduler: the
+      // Itanium EH caught-exception stack is per-OS-thread and the engine's
+      // fibers share it, so a fiber that yields mid-handler (handle_abort's
+      // backoff does) can interleave another fiber's begin/end_catch and a
+      // later bare `throw;` rethrows *that fiber's* exception. Handlers
+      // therefore only record the outcome; rollback, backoff and rethrow
+      // all run after the handler has closed.
+      std::exception_ptr app_err;
       try {
         body(tx);
         tx.commit();
@@ -47,26 +75,38 @@ class Runtime {
         }
         return;
       } catch (const AbortTx&) {
-        tx.handle_abort();
-        if (tracing) {
-          // One span per *attempt*: aborted attempts appear individually,
-          // labelled by cause, so a conflict storm is visible as a run of
-          // short spans before the committing one.
-          stats::Trace::instance().span(ctx.worker_id(), "tx", t0, ctx.now_ns() - t0,
-                                        "outcome",
-                                        stats::abort_cause_name(tx.last_abort_cause()));
-        }
+        // Conflict/capacity abort: fall through to rollback + retry.
       } catch (...) {
-        // Application exception: roll back, then let it escape.
-        tx.handle_abort();
-        throw;
+        // Application exception (including nvm::CrashPoint): roll back,
+        // then let it escape below.
+        app_err = std::current_exception();
+      }
+      tx.handle_abort();
+      if (app_err) std::rethrow_exception(app_err);
+      if (tracing) {
+        // One span per *attempt*: aborted attempts appear individually,
+        // labelled by cause, so a conflict storm is visible as a run of
+        // short spans before the committing one.
+        stats::Trace::instance().span(ctx.worker_id(), "tx", t0, ctx.now_ns() - t0,
+                                      "outcome",
+                                      stats::abort_cause_name(tx.last_abort_cause()));
       }
     }
   }
 
   /// Replay / roll back per-thread logs after a (simulated) power failure;
   /// also quiesces volatile speculation state. Safe on a fresh pool.
-  void recover(sim::ExecContext& ctx);
+  /// Defensive: every persisted input (counts, offsets, segment links,
+  /// record checksums, media-fault status) is validated before use, and
+  /// the returned report says what was replayed and what was refused —
+  /// callers that expect a clean start should assert
+  /// report.records_discarded() == 0.
+  stats::RecoveryReport recover(sim::ExecContext& ctx);
+
+  /// Install (or clear, with nullptr) the shadow-instrumentation hook.
+  /// Must only change while no transactions are running.
+  void set_observer(TxObserver* ob) { observer_ = ob; }
+  TxObserver* observer() const { return observer_; }
 
   nvm::Pool& pool() { return pool_; }
   OrecTable& orecs() { return orecs_; }
@@ -101,6 +141,7 @@ class Runtime {
   alloc::PersistentAllocator alloc_;
   std::vector<stats::TxCounters> counters_;
   std::vector<std::unique_ptr<Tx>> txs_;
+  TxObserver* observer_ = nullptr;
 };
 
 }  // namespace ptm

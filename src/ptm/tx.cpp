@@ -17,6 +17,7 @@ Tx::Tx(Runtime& rt, int worker)
     : rt_(&rt), worker_(worker), algo_(rt.algo()),
       rng_(0x74785eedull + static_cast<uint64_t>(worker) * 0x1234567ull) {
   nvm::Pool& pool = rt.pool();
+  crc_logs_ = pool.config().crash_sim;
   slot_ = SlotLayout::carve(pool.worker_meta(worker), pool.worker_meta_bytes());
   slot_.attach_segments(pool);
   epoch_ = TxSlotHeader::epoch_of(slot_.header->status);
@@ -42,6 +43,7 @@ void Tx::begin() {
   tx_allocs_.clear();
   tx_frees_.clear();
   ctx_->advance(static_cast<uint64_t>(rt_->pool().config().cost.tx_begin_ns));
+  if (TxObserver* ob = rt_->observer()) ob->on_begin(worker_);
 }
 
 uint64_t Tx::read_word(const uint64_t* waddr) {
@@ -58,6 +60,11 @@ void Tx::write_word(uint64_t* waddr, uint64_t val) {
     lazy_write(waddr, val);
   } else {
     eager_write(waddr, val);
+  }
+  // An aborting write throws before this point, so the shadow history only
+  // records writes the algorithm accepted.
+  if (TxObserver* ob = rt_->observer()) {
+    ob->on_write(worker_, rt_->pool().offset_of(waddr), val);
   }
 }
 
@@ -104,6 +111,7 @@ void Tx::commit() {
   // abort-cause counters / kAbortBackoff instead.
   const bool timed = stats::telemetry_enabled();
   const uint64_t t0 = timed ? ctx_->now_ns() : 0;
+  commit_ticket_ = 0;
   if (algo_ == Algo::kOrecLazy) {
     lazy_commit();
   } else {
@@ -112,6 +120,7 @@ void Tx::commit() {
   update_log_hwm();
   c_->commits++;
   attempt_ = 0;
+  if (TxObserver* ob = rt_->observer()) ob->on_commit(worker_, commit_ticket_);
   if (timed) c_->phases.record(stats::Phase::kCommit, ctx_->now_ns() - t0);
 }
 
@@ -123,6 +132,7 @@ void Tx::handle_abort() {
     lazy_abort_cleanup();
   }
   cancel_allocs();
+  if (TxObserver* ob = rt_->observer()) ob->on_abort(worker_);
   if (capacity_kind_ != CapacityKind::kNone) {
     // Capacity abort: grow the exhausted resource instead of backing off —
     // the retry cannot hit the same wall, so no separation in time is
@@ -233,8 +243,9 @@ void* Tx::alloc(size_t n) {
   nvm::Memory& mem = rt_->pool().mem();
   const uint64_t off = rt_->pool().offset_of(p);
   uint64_t* entry = &slot_.alloc_log[n_alloc_log_];
-  mem.store_word(*ctx_, c_, entry, AllocLogOp::make(off, AllocLogOp::kAlloc, epoch_),
-                 nvm::Space::kLog);
+  uint64_t word = AllocLogOp::make(off, AllocLogOp::kAlloc, epoch_);
+  if (crc_logs_) word = AllocLogOp::seal(word);
+  mem.store_word(*ctx_, c_, entry, word, nvm::Space::kLog);
   n_alloc_log_++;
   mem.store_word(*ctx_, c_, &slot_.header->alloc_count, n_alloc_log_, nvm::Space::kLog);
   mem.clwb(*ctx_, c_, entry);
@@ -249,8 +260,9 @@ void Tx::dealloc(void* p) {
   nvm::Memory& mem = rt_->pool().mem();
   const uint64_t off = rt_->pool().offset_of(p);
   uint64_t* entry = &slot_.alloc_log[n_alloc_log_];
-  mem.store_word(*ctx_, c_, entry, AllocLogOp::make(off, AllocLogOp::kFree, epoch_),
-                 nvm::Space::kLog);
+  uint64_t word = AllocLogOp::make(off, AllocLogOp::kFree, epoch_);
+  if (crc_logs_) word = AllocLogOp::seal(word);
+  mem.store_word(*ctx_, c_, entry, word, nvm::Space::kLog);
   n_alloc_log_++;
   mem.store_word(*ctx_, c_, &slot_.header->alloc_count, n_alloc_log_, nvm::Space::kLog);
   mem.clwb(*ctx_, c_, entry);
@@ -264,7 +276,9 @@ void Tx::append_log(uint64_t off, uint64_t val) {
   stats::PhaseTimer pt(*ctx_, &c_->phases, stats::Phase::kLogAppend);
   nvm::Memory& mem = rt_->pool().mem();
   LogEntry* e = slot_.entry_at(n_log_);
-  mem.store_word(*ctx_, c_, &e->off, LogEntry::pack(epoch_, off), nvm::Space::kLog);
+  uint64_t packed = LogEntry::pack(epoch_, off);
+  if (crc_logs_) packed = LogEntry::seal(packed, val);
+  mem.store_word(*ctx_, c_, &e->off, packed, nvm::Space::kLog);
   mem.store_word(*ctx_, c_, &e->val, val, nvm::Space::kLog);
   n_log_++;
   c_->log_bytes += sizeof(LogEntry);

@@ -200,6 +200,8 @@ class Tx {
   size_t n_log_ = 0;
   size_t n_alloc_log_ = 0;
   bool active_persisted_ = false;  // eager: ACTIVE status already durable
+  bool crc_logs_ = false;          // seal log records (crash_sim configs)
+  uint64_t commit_ticket_ = 0;     // orec-clock ticket of the last commit
 
   std::vector<std::pair<std::atomic<uint64_t>*, uint64_t>> read_set_;
   std::vector<OwnedOrec> owned_;

@@ -50,4 +50,20 @@ TxCounters aggregate(const std::vector<TxCounters>& per_thread) {
   return total;
 }
 
+void RecoveryReport::add(const RecoveryReport& o) {
+  slots_scanned += o.slots_scanned;
+  slots_committed += o.slots_committed;
+  slots_rolled_back += o.slots_rolled_back;
+  records_replayed += o.records_replayed;
+  records_stale += o.records_stale;
+  records_torn += o.records_torn;
+  records_invalid += o.records_invalid;
+  records_media_faulted += o.records_media_faulted;
+  allocs_cancelled += o.allocs_cancelled;
+  frees_applied += o.frees_applied;
+  segment_links_truncated += o.segment_links_truncated;
+  log_crc_mismatches += o.log_crc_mismatches;
+  media_faults += o.media_faults;
+}
+
 }  // namespace stats

@@ -77,6 +77,38 @@ struct TxCounters {
 /// Sum a vector of per-thread counters (histograms merge bucket-wise).
 TxCounters aggregate(const std::vector<TxCounters>& per_thread);
 
+/// What Runtime::recover() did and what it refused to trust. Every record
+/// recovery looks at lands in exactly one bucket; the "discarded" buckets
+/// distinguish *expected* crash debris (stale tags, torn records the CRC
+/// caught, truncated segment links) from damage (media faults, out-of-
+/// bounds offsets, whole-log checksum mismatches on committed logs). On a
+/// clean start — or after recovering a crash that tore nothing — all
+/// discard buckets are zero; CI gates on that for non-crash runs
+/// (scripts/check_recovery_report.py).
+struct RecoveryReport {
+  uint64_t slots_scanned = 0;         // worker slots examined
+  uint64_t slots_committed = 0;       // redo logs replayed forward
+  uint64_t slots_rolled_back = 0;     // undo logs applied in reverse
+  uint64_t records_replayed = 0;      // redo/undo records actually applied
+  uint64_t records_stale = 0;         // epoch-tag mismatch (normal debris)
+  uint64_t records_torn = 0;          // per-record CRC failure (crash_sim)
+  uint64_t records_invalid = 0;       // offset out of bounds / misaligned
+  uint64_t records_media_faulted = 0; // record bytes on a poisoned line
+  uint64_t allocs_cancelled = 0;      // speculative allocations returned
+  uint64_t frees_applied = 0;         // committed frees performed
+  uint64_t segment_links_truncated = 0;  // overflow chain links dropped
+  uint64_t log_crc_mismatches = 0;    // committed whole-log CRC failures
+  uint64_t media_faults = 0;          // poisoned lines known at recovery
+
+  /// Records recovery refused to apply for any reason other than a stale
+  /// tag (stale tags are ordinary leftovers, not damage).
+  uint64_t records_discarded() const {
+    return records_torn + records_invalid + records_media_faulted;
+  }
+
+  void add(const RecoveryReport& o);
+};
+
 /// Record a phase latency if telemetry is on and a counter sink exists.
 /// The memory model uses this for WPQ-stall / fence-wait events, which are
 /// observed inside nvm::Memory rather than in Tx scope.

@@ -59,6 +59,25 @@ void write_run_result_fields(JsonWriter& w, const RunResult& r) {
     write_histogram_summary(w, c.phases[p]);
   }
   w.end_object();
+
+  const RecoveryReport& rec = r.recovery;
+  w.key("recovery").begin_object();
+  w.kv("slots_scanned", rec.slots_scanned);
+  w.kv("slots_committed", rec.slots_committed);
+  w.kv("slots_rolled_back", rec.slots_rolled_back);
+  w.kv("records_replayed", rec.records_replayed);
+  w.kv("records_stale", rec.records_stale);
+  w.kv("records_torn", rec.records_torn);
+  w.kv("records_invalid", rec.records_invalid);
+  w.kv("records_media_faulted", rec.records_media_faulted);
+  w.kv("records_discarded", rec.records_discarded());
+  w.kv("allocs_cancelled", rec.allocs_cancelled);
+  w.kv("frees_applied", rec.frees_applied);
+  w.kv("segment_links_truncated", rec.segment_links_truncated);
+  w.kv("log_crc_mismatches", rec.log_crc_mismatches);
+  w.kv("media_faults", rec.media_faults);
+  w.kv("log_range_drops", r.log_range_drops);
+  w.end_object();
 }
 
 }  // namespace stats

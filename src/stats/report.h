@@ -18,6 +18,13 @@ struct RunResult {
   uint64_t sim_ns = 0;      // simulated wall time of the run (max worker clock)
   TxCounters totals;
 
+  // Startup recovery outcome for this point's pool (a fresh pool recovers
+  // trivially: all-zero except slots_scanned) plus log-range registrations
+  // the memory model had to drop. CI gates on these being clean — see
+  // scripts/check_recovery_report.py.
+  RecoveryReport recovery;
+  uint64_t log_range_drops = 0;
+
   /// Committed transactions per simulated second.
   double throughput_tx_per_sec() const {
     if (sim_ns == 0) return 0.0;

@@ -1,0 +1,46 @@
+#include "util/crc32.h"
+
+namespace util {
+namespace {
+
+struct Crc32cTable {
+  uint32_t t[256];
+  Crc32cTable() {
+    for (uint32_t i = 0; i < 256; i++) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; k++) {
+        c = (c & 1) ? (c >> 1) ^ 0x82F63B78u : (c >> 1);
+      }
+      t[i] = c;
+    }
+  }
+};
+
+const Crc32cTable& table() {
+  static const Crc32cTable tab;
+  return tab;
+}
+
+}  // namespace
+
+uint32_t crc32c(const void* data, size_t len, uint32_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  const uint32_t* t = table().t;
+  uint32_t c = ~seed;
+  for (size_t i = 0; i < len; i++) {
+    c = t[(c ^ p[i]) & 0xff] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+uint32_t crc32c_u64(uint64_t word, uint32_t seed) {
+  const uint32_t* t = table().t;
+  uint32_t c = ~seed;
+  for (int i = 0; i < 8; i++) {
+    c = t[(c ^ (word & 0xff)) & 0xff] ^ (c >> 8);
+    word >>= 8;
+  }
+  return ~c;
+}
+
+}  // namespace util

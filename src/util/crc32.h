@@ -1,0 +1,21 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) —
+// software slice-by-one implementation. Used for the per-record and
+// whole-log checksums in the persistent transaction logs (docs/LOGGING.md)
+// and only computed on crash-simulation configurations, so raw throughput
+// is irrelevant; correctness and portability are not.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace util {
+
+/// CRC32C of `len` bytes. `seed` chains partial computations:
+/// crc32c(b, n) == crc32c(b + k, n - k, crc32c(b, k)).
+uint32_t crc32c(const void* data, size_t len, uint32_t seed = 0);
+
+/// CRC32C of a single 64-bit word (little-endian byte order), the common
+/// case for 8-byte log words.
+uint32_t crc32c_u64(uint64_t word, uint32_t seed = 0);
+
+}  // namespace util

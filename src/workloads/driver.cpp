@@ -25,8 +25,12 @@ stats::RunResult run_point(const WorkloadFactory& factory, const RunPoint& p) {
   ptm::Runtime rt(pool, p.algo);
 
   // Populate on the spare slot with a pass-through context: no simulated
-  // cost is charged, but the exact transactional code paths run.
+  // cost is charged, but the exact transactional code paths run. Startup
+  // recovery runs first, exactly as a production open would — on the fresh
+  // pool it is a trivial scan whose report must come back clean, and that
+  // report lands in the JSON artifact for CI to gate on.
   sim::RealContext setup_ctx(p.threads, p.threads + 1);
+  const stats::RecoveryReport recovery = rt.recover(setup_ctx);
   w->setup(rt, setup_ctx);
 
   rt.reset_counters();
@@ -63,6 +67,8 @@ stats::RunResult run_point(const WorkloadFactory& factory, const RunPoint& p) {
   r.sim_ns = engine.elapsed_ns();
   auto per_thread = rt.snapshot_counters();
   r.totals = stats::aggregate(per_thread);
+  r.recovery = recovery;
+  r.log_range_drops = pool.mem().log_range_drops();
   return r;
 }
 

@@ -40,48 +40,41 @@ void run_crash_trials(ptm::Algo algo, nvm::Domain domain, const DoOp& do_op,
                       const Contains& contains,
                       const std::function<void(ptm::Tx&, Root*)>& create) {
   for (uint64_t trial = 0; trial < 8; trial++) {
-    auto cfg = test::small_cfg(domain, nvm::Media::kOptane, /*crash_sim=*/true);
-    cfg.pool_size = 16ull << 20;
-    cfg.max_workers = 4;
-    cfg.per_worker_meta_bytes = 1ull << 17;
-    nvm::Pool pool(cfg);
-    ptm::Runtime rt(pool, algo);
+    fault::CrashHarness h(test::crash_cfg(domain), algo);
     sim::RealContext ctx(0, 4);
-    auto* root = pool.root<Root>();
-    rt.run(ctx, [&](ptm::Tx& tx) { create(tx, root); });
-    pool.mem().checkpoint_all_persistent();
+    auto* root = h.pool.root<Root>();
+    h.rt.run(ctx, [&](ptm::Tx& tx) { create(tx, root); });
 
     util::Rng rng(4400 + trial * 31);
-    pool.mem().arm_crash_after(40 + rng.next_bounded(2500), trial + 1);
-
     std::set<uint64_t> shadow;
     uint64_t inflight_key = 0;
     bool inflight_insert = false;
-    try {
-      for (int t = 0; t < 250; t++) {
-        const uint64_t key = rng.next_bounded(128);
-        const bool insert = rng.chance_pct(70);
-        inflight_key = key;
-        inflight_insert = insert;
-        rt.run(ctx, [&](ptm::Tx& tx) { do_op(tx, root, key, insert); });
-        if (insert) {
-          shadow.insert(key);
-        } else {
-          shadow.erase(key);
-        }
-      }
-    } catch (const nvm::CrashPoint&) {
-    }
-
-    util::Rng r2(5);
-    pool.simulate_power_failure(r2);
-    rt.recover(ctx);
+    // Oracle off: container removes dealloc their nodes, whose payload
+    // words the allocator then rethreads outside the Tx write path. The
+    // recovery report is still screened for torn/invalid/media damage.
+    test::run_crash_trial(
+        h, ctx, 40 + rng.next_bounded(2500), trial + 1,
+        [&] {
+          for (int t = 0; t < 250; t++) {
+            const uint64_t key = rng.next_bounded(128);
+            const bool insert = rng.chance_pct(70);
+            inflight_key = key;
+            inflight_insert = insert;
+            h.rt.run(ctx, [&](ptm::Tx& tx) { do_op(tx, root, key, insert); });
+            if (insert) {
+              shadow.insert(key);
+            } else {
+              shadow.erase(key);
+            }
+          }
+        },
+        /*check_oracle=*/false, /*image_seed=*/5);
 
     // Membership must match the shadow, except possibly the in-flight key
     // (included iff its commit record persisted first).
     for (uint64_t k = 0; k < 128; k++) {
       bool present = false;
-      rt.run(ctx, [&](ptm::Tx& tx) { present = contains(tx, root, k); });
+      h.rt.run(ctx, [&](ptm::Tx& tx) { present = contains(tx, root, k); });
       if (k == inflight_key) {
         const bool allowed_a = shadow.count(k) > 0;       // op not included
         const bool allowed_b = inflight_insert;           // op included

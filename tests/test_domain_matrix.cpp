@@ -105,40 +105,36 @@ TEST(PdramCrash, MoneyConservedAcrossPowerFailure) {
   for (auto domain : {nvm::Domain::kPdram, nvm::Domain::kPdramLite}) {
     for (auto algo : {ptm::Algo::kOrecLazy, ptm::Algo::kOrecEager}) {
       auto cfg = test::small_cfg(domain, nvm::Media::kOptane, /*crash_sim=*/true);
-      nvm::Pool pool(cfg);
-      ptm::Runtime rt(pool, algo);
+      fault::CrashHarness h(cfg, algo);
       sim::RealContext ctx(0, 8);
       struct B {
         uint64_t bal[32];
       };
-      auto* root = pool.root<B>();
-      rt.run(ctx, [&](ptm::Tx& tx) {
+      auto* root = h.pool.root<B>();
+      h.rt.run(ctx, [&](ptm::Tx& tx) {
         for (int i = 0; i < 32; i++) tx.write(&root->bal[i], uint64_t{500});
       });
-      pool.mem().checkpoint_all_persistent();
 
       util::Rng rng(777);
-      pool.mem().arm_crash_after(60 + rng.next_bounded(400), 5);
-      try {
-        for (int t = 0; t < 300; t++) {
-          const uint64_t a = rng.next_bounded(32);
-          const uint64_t b = (a + 1 + rng.next_bounded(31)) % 32;
-          rt.run(ctx, [&](ptm::Tx& tx) {
-            const uint64_t fa = tx.read(&root->bal[a]);
-            const uint64_t fb = tx.read(&root->bal[b]);
-            const uint64_t amt = fa > 7 ? 7 : fa;
-            tx.write(&root->bal[a], fa - amt);
-            tx.write(&root->bal[b], fb + amt);
-          });
-        }
-        FAIL() << "crash did not fire";
-      } catch (const nvm::CrashPoint&) {
-      }
-      util::Rng r2(3);
-      pool.simulate_power_failure(r2);
-      rt.recover(ctx);
+      const bool crashed = test::run_crash_trial(
+          h, ctx, 60 + rng.next_bounded(400), 5,
+          [&] {
+            for (int t = 0; t < 300; t++) {
+              const uint64_t a = rng.next_bounded(32);
+              const uint64_t b = (a + 1 + rng.next_bounded(31)) % 32;
+              h.rt.run(ctx, [&](ptm::Tx& tx) {
+                const uint64_t fa = tx.read(&root->bal[a]);
+                const uint64_t fb = tx.read(&root->bal[b]);
+                const uint64_t amt = fa > 7 ? 7 : fa;
+                tx.write(&root->bal[a], fa - amt);
+                tx.write(&root->bal[b], fb + amt);
+              });
+            }
+          },
+          /*check_oracle=*/true, /*image_seed=*/3);
+      ASSERT_TRUE(crashed) << "crash did not fire";
       uint64_t total = 0;
-      rt.run(ctx, [&](ptm::Tx& tx) {
+      h.rt.run(ctx, [&](ptm::Tx& tx) {
         total = 0;
         for (int i = 0; i < 32; i++) total += tx.read(&root->bal[i]);
       });

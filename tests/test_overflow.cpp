@@ -293,7 +293,8 @@ TEST(EpochWrap, RecoveryPathQuiescesAndSkipsTagZero) {
   slot.header->status = ptm::TxSlotHeader::make(kBoundary - 1, ptm::TxSlotHeader::kActive);
   slot.header->algo = static_cast<uint64_t>(ptm::Algo::kOrecEager);
   slot.header->log_count = 1;
-  slot.log[0].off = ptm::LogEntry::pack(kBoundary - 1, pool.offset_of(root));
+  slot.log[0].off = ptm::LogEntry::seal(
+      ptm::LogEntry::pack(kBoundary - 1, pool.offset_of(root)), 777);
   slot.log[0].val = 777;
 
   rt.recover(ctx);

@@ -5,6 +5,7 @@
 #include "ptm/redo_log.h"
 #include "ptm/runtime.h"
 #include "test_common.h"
+#include "util/crc32.h"
 
 namespace {
 
@@ -13,13 +14,41 @@ struct Root {
 };
 
 TEST(LogEntryPacking, RoundTripsOffsetsAndTags) {
-  const uint64_t off = (1ull << 39) + 4096 + 8;  // near the 40-bit limit
+  const uint64_t off = (1ull << 31) + 4096 + 8;  // near the 32-bit limit
   for (uint64_t epoch : {0ull, 1ull, 255ull, (1ull << 24) - 1, 123456789ull}) {
     const uint64_t packed = ptm::LogEntry::pack(epoch, off);
     EXPECT_EQ(ptm::LogEntry::offset_of(packed), off);
     EXPECT_TRUE(ptm::LogEntry::tag_matches(packed, epoch));
     EXPECT_FALSE(ptm::LogEntry::tag_matches(packed, epoch + 1));
   }
+}
+
+TEST(LogEntryPacking, SealPreservesOffsetAndTagAndDetectsDamage) {
+  const uint64_t off = 4096 + 64;
+  const uint64_t val = 0xdeadbeefcafef00dull;
+  const uint64_t packed = ptm::LogEntry::pack(77, off);
+  const uint64_t sealed = ptm::LogEntry::seal(packed, val);
+  // The crc occupies its own field: offset and tag are untouched.
+  EXPECT_EQ(ptm::LogEntry::offset_of(sealed), off);
+  EXPECT_TRUE(ptm::LogEntry::tag_matches(sealed, 77));
+  EXPECT_TRUE(ptm::LogEntry::crc_ok(sealed, val));
+  // Any single-word tear (wrong value, or stale off word) fails the check.
+  EXPECT_FALSE(ptm::LogEntry::crc_ok(sealed, val + 1));
+  EXPECT_FALSE(ptm::LogEntry::crc_ok(ptm::LogEntry::seal(packed, val + 1), val));
+  // Resealing after a value change yields a fresh valid seal (the stale
+  // crc bits must not leak into the new one).
+  const uint64_t resealed = ptm::LogEntry::seal(sealed, val + 1);
+  EXPECT_TRUE(ptm::LogEntry::crc_ok(resealed, val + 1));
+}
+
+TEST(AllocLogPacking, SealRoundTripsAndDetectsDamage) {
+  const uint64_t w = ptm::AllocLogOp::make(123456, ptm::AllocLogOp::kFree, 42);
+  const uint64_t sealed = ptm::AllocLogOp::seal(w);
+  EXPECT_EQ(ptm::AllocLogOp::off_of(sealed), 123456u);
+  EXPECT_EQ(ptm::AllocLogOp::op_of(sealed), ptm::AllocLogOp::kFree);
+  EXPECT_TRUE(ptm::AllocLogOp::tag_matches(sealed, 42));
+  EXPECT_TRUE(ptm::AllocLogOp::crc_ok(sealed));
+  EXPECT_FALSE(ptm::AllocLogOp::crc_ok(sealed ^ 0x8));  // flipped offset bit
 }
 
 TEST(AllocLogPacking, PreservesOpAndOffset) {
@@ -111,12 +140,16 @@ TEST(Recovery, StaleLogEntriesAreSkipped) {
   slot.header->status = ptm::TxSlotHeader::make(header_epoch, ptm::TxSlotHeader::kCommitted);
   slot.header->algo = static_cast<uint64_t>(ptm::Algo::kOrecLazy);
   slot.header->log_count = 1;
-  // The entry is from epoch 7 — a leftover the crash surfaced.
-  slot.log[0].off = ptm::LogEntry::pack(7, pool.offset_of(&root->cells[3]));
+  // The entry is from epoch 7 — a leftover the crash surfaced. (Sealed:
+  // staleness must be decided by the tag, not by an incidental crc fail.)
   slot.log[0].val = 999;
+  slot.log[0].off =
+      ptm::LogEntry::seal(ptm::LogEntry::pack(7, pool.offset_of(&root->cells[3])), 999);
 
-  rt.recover(ctx);
+  const auto rep = rt.recover(ctx);
   EXPECT_EQ(root->cells[3], 111u) << "stale-epoch record was replayed";
+  EXPECT_GE(rep.records_stale, 1u);
+  EXPECT_EQ(rep.records_replayed, 0u);
 }
 
 TEST(Recovery, MatchingEpochCommittedLogIsReplayed) {
@@ -131,11 +164,18 @@ TEST(Recovery, MatchingEpochCommittedLogIsReplayed) {
   slot.header->status = ptm::TxSlotHeader::make(9, ptm::TxSlotHeader::kCommitted);
   slot.header->algo = static_cast<uint64_t>(ptm::Algo::kOrecLazy);
   slot.header->log_count = 1;
-  slot.log[0].off = ptm::LogEntry::pack(9, pool.offset_of(&root->cells[4]));
   slot.log[0].val = 999;
+  slot.log[0].off =
+      ptm::LogEntry::seal(ptm::LogEntry::pack(9, pool.offset_of(&root->cells[4])), 999);
+  // The committer also seals a whole-log checksum into the header.
+  slot.header->pad[ptm::SlotLayout::kLogCrcPad] =
+      util::crc32c_u64(slot.log[0].val, util::crc32c_u64(slot.log[0].off, 0));
 
-  rt.recover(ctx);
+  const auto rep = rt.recover(ctx);
   EXPECT_EQ(root->cells[4], 999u) << "committed redo log was not replayed";
+  EXPECT_EQ(rep.records_replayed, 1u);
+  EXPECT_EQ(rep.log_crc_mismatches, 0u);
+  EXPECT_EQ(rep.records_discarded(), 0u);
 }
 
 TEST(Recovery, ActiveUndoLogRollsBackInReverse) {
@@ -152,13 +192,17 @@ TEST(Recovery, ActiveUndoLogRollsBackInReverse) {
   slot.header->log_count = 2;
   // Two records for the same word: replay in reverse must end on the
   // OLDER value (log[0]).
-  slot.log[0].off = ptm::LogEntry::pack(4, pool.offset_of(&root->cells[5]));
   slot.log[0].val = 100;
-  slot.log[1].off = ptm::LogEntry::pack(4, pool.offset_of(&root->cells[5]));
+  slot.log[0].off =
+      ptm::LogEntry::seal(ptm::LogEntry::pack(4, pool.offset_of(&root->cells[5])), 100);
   slot.log[1].val = 200;
+  slot.log[1].off =
+      ptm::LogEntry::seal(ptm::LogEntry::pack(4, pool.offset_of(&root->cells[5])), 200);
 
-  rt.recover(ctx);
+  const auto rep = rt.recover(ctx);
   EXPECT_EQ(root->cells[5], 100u);
+  EXPECT_EQ(rep.records_replayed, 2u);
+  EXPECT_EQ(rep.slots_rolled_back, 1u);
 }
 
 TEST(Recovery, EpochAdvancesAfterRecovery) {
