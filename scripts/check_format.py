@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Check-only clang-format gate over the curated post-config file list.
+
+The .clang-format config landed long after the seed tree was written, so
+this gate deliberately does NOT reformat or check the whole repository —
+a mass reformat would bury real history under whitespace churn. Instead
+it holds the line for files added together with (or after) the config;
+extend CHECKED_FILES when a PR adds new sources.
+
+Exit status: 0 when every listed file is formatted (or clang-format is
+not installed — the build container does not ship it; CI installs it),
+1 when any file needs reformatting, 2 when a listed file is missing.
+"""
+import os
+import shutil
+import subprocess
+import sys
+
+# Files written against .clang-format; keep sorted.
+CHECKED_FILES = [
+    "src/analysis/psan.cpp",
+    "src/analysis/psan.h",
+    "tests/lint_fixtures/raw_store_escape.cpp",
+    "tests/test_psan.cpp",
+]
+
+
+def main():
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    clang_format = shutil.which("clang-format")
+    if clang_format is None:
+        print("check_format: clang-format not installed — skipping "
+              "(CI installs it; the local toolchain is gcc-only)")
+        return 0
+    missing = [f for f in CHECKED_FILES
+               if not os.path.isfile(os.path.join(root, f))]
+    if missing:
+        print(f"check_format: listed files missing: {missing}", file=sys.stderr)
+        return 2
+    bad = []
+    for f in CHECKED_FILES:
+        path = os.path.join(root, f)
+        res = subprocess.run(
+            [clang_format, "--dry-run", "--Werror", "--style=file", path],
+            capture_output=True, text=True)
+        if res.returncode != 0:
+            bad.append(f)
+            sys.stderr.write(res.stderr)
+    if bad:
+        print(f"check_format: {len(bad)} file(s) need `clang-format -i`: "
+              f"{bad}", file=sys.stderr)
+        return 1
+    print(f"check_format: {len(CHECKED_FILES)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

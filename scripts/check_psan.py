@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Fail if the persistency sanitizer reported any correctness violation.
+
+Consumes either kind of psan output (docs/ANALYSIS.md has the schema):
+
+  * JSONL files written via REPRO_PSAN_OUT=path — one summary object per
+    nvm::Memory teardown, appended by every pool the run created; or
+  * REPRO_JSON bench artifacts — each point under "results" carries a
+    "psan" object when the sanitizer was enabled for the run.
+
+The gate is the two correctness kinds: "missing_flush" (a line that had
+to be durable at an ordering point was not) and "misordered_persist" (a
+store issued ahead of a range whose persistence must precede it). Either
+one nonzero means a recovery-correctness bug, not a style issue — a crash
+at the right instant loses committed data.
+
+The perf lints (redundant_flush / redundant_fence) and the crash-debris
+counters (unflushed_at_crash / torn_at_crash — ordinary mid-transaction
+state at an injected power failure) are reported but never fail the gate.
+
+Usage: check_psan.py FILE [FILE ...]
+Exit status: 0 all clean, 1 any correctness violation (or unreadable
+input), 2 usage error. A file with zero psan records also fails: the
+caller asked for a psan-gated run, so an empty file means the sanitizer
+never actually ran (e.g. REPRO_PSAN was not exported to the tests).
+"""
+import json
+import sys
+
+GATED = {
+    "missing_flush": "line not durable at an ordering point that requires it",
+    "misordered_persist": "store issued ahead of a required-durable range",
+}
+INFORMATIONAL = ("redundant_flush", "redundant_fence",
+                 "unflushed_at_crash", "torn_at_crash", "diags_dropped")
+
+
+def iter_summaries(path):
+    """Yield (label, summary-dict) from a JSONL stream or a bench artifact."""
+    with open(path) as f:
+        text = f.read()
+    stripped = text.lstrip()
+    if stripped.startswith("{") and '"results"' in stripped[:4096]:
+        doc = json.loads(text)
+        for point in doc.get("results", []):
+            psan = point.get("psan")
+            if psan is not None:
+                label = "[{}] {} @ {} threads".format(
+                    point.get("bench", "?"), point.get("label", "?"),
+                    point.get("threads", "?"))
+                yield label, psan
+        return
+    for i, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        yield f"record {i}", json.loads(line)
+
+
+def check(path):
+    """Returns (n_records, violations, lint_totals) for one file."""
+    n = 0
+    violations = []
+    lints = dict.fromkeys(INFORMATIONAL, 0)
+    for label, s in iter_summaries(path):
+        n += 1
+        for key, why in GATED.items():
+            count = s.get(key, 0)
+            if count:
+                violations.append((label, key, count, why))
+        for key in INFORMATIONAL:
+            lints[key] += s.get(key, 0)
+    return n, violations, lints
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        try:
+            n, violations, lints = check(path)
+        except (OSError, ValueError) as e:
+            print(f"{path}: cannot read psan output: {e}", file=sys.stderr)
+            failed = True
+            continue
+        if n == 0:
+            print(f"{path}: no psan records — the sanitizer never ran "
+                  "(is REPRO_PSAN=1 exported?)", file=sys.stderr)
+            failed = True
+            continue
+        if violations:
+            failed = True
+            for label, key, count, why in violations:
+                print(f"{path}: psan.{key}={count} in {label} — {why}",
+                      file=sys.stderr)
+        else:
+            lint_note = ", ".join(f"{k}={v}" for k, v in lints.items() if v)
+            print(f"{path}: {n} psan record(s), zero correctness violations"
+                  + (f" (lints: {lint_note})" if lint_note else ""))
+    if failed:
+        print("persistency-sanitizer violations — each diagnostic names the "
+              "ordering point and carries replayable event indices; see "
+              "docs/ANALYSIS.md", file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,253 @@
+#!/usr/bin/env python3
+"""pmem-API escape lint: reject raw access to pool-managed memory.
+
+Every store, flush, and fence against the persistent heap must go through
+nvm::Memory (store_word / store_bytes / clwb / sfence): that is where
+cost accounting, the crash shadow image, and the persistency sanitizer
+all live. A raw store that bypasses the API is invisible to all three —
+the bench numbers silently omit its cost, crash schedules can never tear
+it, and psan cannot check its ordering. This lint catches the bypasses
+that pattern-match reliably without a compiler:
+
+  R1  memcpy/memmove/memset whose destination is a pool access path
+      (use Memory::store_bytes).
+  R2  a writable std::atomic_ref over heap words outside src/nvm —
+      read-only atomic_ref<const T> is fine (recovery-time scans use it);
+      a writable one is an unmodelled store.
+  R3  deref-assignment through pool.at()/pool.base()/heap_ pointer
+      arithmetic (use Memory::store_word).
+  R4  hardware persistence instructions (asm clwb/sfence, _mm_* ,
+      __builtin_ia32_*) — the simulator's clwb/sfence are the only
+      flush/fence primitives that exist for the modelled heap.
+
+This is a deliberate-token heuristic, not alias analysis: it flags raw
+stores written *as* pool accesses, and the clang-tidy pass in the same CI
+job covers general hygiene. Justified exceptions carry a same-line
+`// pmemlint: allow(reason)` comment (or one on their own line directly
+above) — the reason is mandatory and shows up in review diffs.
+
+Usage:
+  pmemlint.py [--root DIR]          lint the tree (exit 1 on findings)
+  pmemlint.py --self-test           verify every rule fires on
+                                    tests/lint_fixtures/raw_store_escape.cpp
+"""
+import argparse
+import os
+import re
+import sys
+
+SCAN_DIRS = ("src/ptm", "src/alloc", "src/containers", "src/workloads",
+             "src/fault", "bench", "examples")
+EXTS = (".cpp", ".h")
+FIXTURE = "tests/lint_fixtures/raw_store_escape.cpp"
+
+ALLOW_RE = re.compile(r"//\s*pmemlint:\s*allow\([^)]+\)")
+# Expressions that denote "a pointer into the modelled persistent heap".
+PMEM_TOKEN = re.compile(
+    r"pool(\(\))?\s*(\.|->|_\s*\.|_\s*->)\s*(at|base)\s*\(|\bheap_\b")
+
+R2_RE = re.compile(r"std::atomic_ref<\s*(?!const\b)")
+R4_RE = re.compile(
+    r"\basm\b|__asm__|_mm_clwb|_mm_clflush|_mm_sfence|_mm_mfence|__builtin_ia32_")
+LIBC_COPY_RE = re.compile(r"\b(?:std::)?(memcpy|memmove|memset)\s*\(")
+# An assignment that is not ==, !=, <=, >=, or a compound form we still
+# want (+= through a raw pmem deref is just as much a store).
+ASSIGN_RE = re.compile(r"(?<![=!<>])=(?!=)")
+
+MESSAGES = {
+    "R1": "libc copy into pool-managed memory — use nvm::Memory::store_bytes",
+    "R2": "writable std::atomic_ref over the persistent heap — the store "
+          "bypasses nvm::Memory (read-only atomic_ref<const T> is fine)",
+    "R3": "raw deref-store through a pool access path — use "
+          "nvm::Memory::store_word",
+    "R4": "hardware flush/fence or inline asm — only nvm::Memory::clwb/sfence "
+          "reach the modelled crash image",
+}
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving newlines and
+    column positions so match offsets still map to real locations."""
+    out = []
+    i, n = 0, len(text)
+    state = None  # None | "line" | "block" | '"' | "'"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state is None:
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c in "\"'":
+                state = c
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = None
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = None
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        else:  # inside a string/char literal
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == state:
+                state = None
+            out.append(c if c in (state, "\n") else " ")
+        i += 1
+    return "".join(out)
+
+
+def allowed_lines(raw_lines):
+    """Line numbers suppressed by `// pmemlint: allow(reason)` — the line
+    carrying the comment, plus the next line when the comment stands alone."""
+    allowed = set()
+    for ln, line in enumerate(raw_lines, 1):
+        if ALLOW_RE.search(line):
+            allowed.add(ln)
+            if line.strip().startswith("//"):
+                allowed.add(ln + 1)
+    return allowed
+
+
+def first_call_arg(text, open_paren):
+    """The first top-level argument of the call whose '(' is at open_paren."""
+    depth = 1
+    i = open_paren + 1
+    start = i
+    while i < len(text) and depth > 0:
+        c = text[i]
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+        elif c == "," and depth == 1:
+            return text[start:i]
+        i += 1
+    return text[start:i - 1] if i > start else ""
+
+
+def lint_file(path, text=None):
+    """Returns [(line, rule, excerpt)]."""
+    if text is None:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    raw_lines = text.splitlines()
+    allowed = allowed_lines(raw_lines)
+    stripped = strip_comments_and_strings(text)
+    findings = []
+
+    def report(ln, rule):
+        if ln not in allowed:
+            excerpt = raw_lines[ln - 1].strip() if ln <= len(raw_lines) else ""
+            findings.append((ln, rule, excerpt))
+
+    # R1 scans the whole stripped text so multi-line calls still parse.
+    for m in LIBC_COPY_RE.finditer(stripped):
+        dst = first_call_arg(stripped, m.end() - 1)
+        if PMEM_TOKEN.search(dst):
+            report(stripped.count("\n", 0, m.start()) + 1, "R1")
+
+    for ln, line in enumerate(stripped.splitlines(), 1):
+        if R2_RE.search(line):
+            report(ln, "R2")
+        if R4_RE.search(line):
+            report(ln, "R4")
+        am = ASSIGN_RE.search(line)
+        if am:
+            lhs = line[:am.start()]
+            if "*" in lhs and PMEM_TOKEN.search(lhs):
+                report(ln, "R3")
+    return findings
+
+
+def scan_tree(root):
+    files = []
+    for d in SCAN_DIRS:
+        base = os.path.join(root, d)
+        for dirpath, _dirs, names in os.walk(base):
+            for name in sorted(names):
+                if name.endswith(EXTS):
+                    files.append(os.path.join(dirpath, name))
+    all_findings = []
+    for path in sorted(files):
+        for ln, rule, excerpt in lint_file(path):
+            all_findings.append((os.path.relpath(path, root), ln, rule, excerpt))
+    return len(files), all_findings
+
+
+def self_test(root):
+    """Every rule must fire on the fixture; the suppressed site must not."""
+    path = os.path.join(root, FIXTURE)
+    findings = lint_file(path)
+    fired = {rule for _ln, rule, _e in findings}
+    missing = sorted(set(MESSAGES) - fired)
+    ok = True
+    if missing:
+        print(f"self-test: rules never fired on {FIXTURE}: {missing}",
+              file=sys.stderr)
+        ok = False
+    with open(path) as f:
+        raw = f.read().splitlines()
+    suppressed = [ln for ln, line in enumerate(raw, 1)
+                  if ALLOW_RE.search(line)]
+    hit_suppressed = [ln for ln, _r, _e in findings if ln in suppressed]
+    if hit_suppressed:
+        print(f"self-test: allow() comment did not suppress line(s) "
+              f"{hit_suppressed}", file=sys.stderr)
+        ok = False
+    if ok:
+        counts = {}
+        for _ln, rule, _e in findings:
+            counts[rule] = counts.get(rule, 0) + 1
+        summary = ", ".join(f"{r}x{counts[r]}" for r in sorted(counts))
+        print(f"self-test: ok — fixture trips every rule ({summary}), "
+              "suppression honored")
+    return ok
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args(argv[1:])
+
+    if args.self_test:
+        return 0 if self_test(args.root) else 1
+
+    nfiles, findings = scan_tree(args.root)
+    for relpath, ln, rule, excerpt in findings:
+        print(f"{relpath}:{ln}: [{rule}] {MESSAGES[rule]}\n    {excerpt}",
+              file=sys.stderr)
+    if findings:
+        print(f"pmemlint: {len(findings)} escape(s) in {nfiles} files — "
+              "route the access through nvm::Memory or justify it with "
+              "`// pmemlint: allow(reason)` (docs/ANALYSIS.md)",
+              file=sys.stderr)
+        return 1
+    print(f"pmemlint: {nfiles} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

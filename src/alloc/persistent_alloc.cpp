@@ -23,7 +23,10 @@ uint64_t make_header(int cls, size_t payload) {
 
 int header_class(uint64_t h) { return static_cast<int>((h >> 40) & 0xff); }
 size_t header_size(uint64_t h) { return static_cast<size_t>(h & ((1ull << 40) - 1)); }
-bool header_valid(uint64_t h) { return (h >> kHeaderMagicShift) == kHeaderMagic; }
+// assert-only; [[maybe_unused]] keeps NDEBUG builds warning-clean
+[[maybe_unused]] bool header_valid(uint64_t h) {
+  return (h >> kHeaderMagicShift) == kHeaderMagic;
+}
 
 }  // namespace
 
@@ -65,6 +68,7 @@ uint64_t PersistentAllocator::reserve_bump(sim::ExecContext& ctx, stats::TxCount
   // 2. Durably advance the persistent high-water mark (CAS-max: a slower
   //    worker persisting a smaller end must never regress it), then charge
   //    the store+flush+fence cost.
+  // pmemlint: allow(cross-worker CAS-max; accounted and persisted via mem below)
   std::atomic_ref<uint64_t> hw(*bump_);
   uint64_t cur = hw.load(std::memory_order_relaxed);
   const uint64_t end = start + need;

@@ -171,7 +171,27 @@ bool run_schedule(const ScheduleSpec& spec, std::string* why, uint64_t* events_o
     }
   } else {
     const Oracle::Result res = h.verify();
-    if (!res.ok) return fail("oracle: " + res.detail);
+    if (!res.ok) {
+      // With psan on (REPRO_PSAN=1), classify the failure mode: lines the
+      // crashed run never even flushed point at a missing-flush algorithm
+      // bug; none means the schedule tore state the algorithm did order.
+      std::string msg = "oracle: " + res.detail;
+      if (h.pool.mem().psan() != nullptr) {
+        char note[96];
+        std::snprintf(note, sizeof(note),
+                      " (psan: %zu never-flushed line(s) at crash%s",
+                      h.crash_unflushed.size(),
+                      h.crash_unflushed.empty() ? " — torn by schedule)" : ")");
+        msg += note;
+        if (!h.crash_unflushed.empty()) {
+          char ln[32];
+          std::snprintf(ln, sizeof(ln), " first=line %" PRIu64,
+                        h.crash_unflushed.front());
+          msg += ln;
+        }
+      }
+      return fail(msg);
+    }
     // Cross-check the recovery report: with no media damage, a committed
     // log may never fail its whole-log checksum, and no record that
     // passed its CRC may carry an out-of-range offset.

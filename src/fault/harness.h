@@ -18,7 +18,9 @@
 
 #include <cstdint>
 #include <utility>
+#include <vector>
 
+#include "analysis/psan.h"
 #include "fault/oracle.h"
 #include "nvm/pool.h"
 #include "ptm/runtime.h"
@@ -62,6 +64,14 @@ class CrashHarness {
     rt.set_observer(nullptr);
     util::Rng r(image_seed);
     pool.simulate_power_failure(r);
+    if (analysis::Psan* ps = pool.mem().psan()) {
+      // Captured before recovery's own stores disturb psan state: lines
+      // the crashed run stored but never flushed. Most are ordinary
+      // mid-transaction debris the log covers; their value is diagnostic —
+      // when verify() fails on one of these lines, the bug is "never
+      // flushed at all" rather than "torn by this crash schedule".
+      crash_unflushed = ps->crash_unflushed_lines();
+    }
     report = rt.recover(ctx);
     return report;
   }
@@ -73,6 +83,11 @@ class CrashHarness {
   ptm::Runtime rt;
   Oracle oracle;
   stats::RecoveryReport report;
+
+  /// psan's never-flushed dirty lines at the most recent power failure
+  /// (empty when psan is off — or when the algorithm flushed everything
+  /// it was required to, which the shipped algorithms always do).
+  std::vector<uint64_t> crash_unflushed;
 };
 
 }  // namespace fault

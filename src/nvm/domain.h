@@ -47,6 +47,13 @@ struct SystemConfig {
   /// Charge modelled time under the discrete-event engine.
   bool model_timing = true;
 
+  /// Run the persistency sanitizer (analysis::Psan): a per-cache-line
+  /// flush/fence ordering checker over every instrumented access. Like
+  /// telemetry/checksums it is zero-cost when off (one null-pointer test
+  /// per hooked access) and changes no observable output. REPRO_PSAN=1
+  /// forces it on regardless of this flag.
+  bool psan = false;
+
   // Crash-simulation adversary: probability that a dirty-but-unflushed
   // line (or a clwb'd-but-unfenced line) happens to persist anyway, as a
   // real cache/WPQ might spontaneously write it back before the failure.

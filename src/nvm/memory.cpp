@@ -2,8 +2,10 @@
 
 #include <cassert>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
+#include "analysis/psan.h"
 #include "stats/trace.h"
 
 namespace nvm {
@@ -24,6 +26,74 @@ Memory::Memory(const SystemConfig& cfg, char* base, size_t size)
     dirty_bitmap_.assign((num_lines_ + 63) / 64, 0);
     pending_.assign(static_cast<size_t>(cfg_.max_workers), {});
   }
+  if (cfg_.psan || analysis::Psan::env_enabled()) {
+    psan_ = std::make_unique<analysis::Psan>(cfg_, num_lines_, cfg_.max_workers);
+  }
+}
+
+Memory::~Memory() {
+  if (!psan_) return;
+  const stats::PsanSummary s = psan_->summary();
+  // Undrained correctness findings are loud even without the JSONL sink:
+  // a unit test that trips an ordering bug fails check_psan.py's run even
+  // if its own assertions never look at psan.
+  if (s.correctness() > 0) {
+    std::fprintf(stderr,
+                 "psan: %llu ordering violation(s) at pool teardown "
+                 "(missing_flush=%llu misordered_persist=%llu)\n",
+                 static_cast<unsigned long long>(s.correctness()),
+                 static_cast<unsigned long long>(s.missing_flush),
+                 static_cast<unsigned long long>(s.misordered_persist));
+    for (const analysis::Diag& d : psan_->drain()) {
+      if (d.kind != analysis::DiagKind::kMissingFlush &&
+          d.kind != analysis::DiagKind::kMisorderedPersist) {
+        continue;
+      }
+      std::fprintf(stderr,
+                   "psan:   %s worker=%d tx=%llu line=%llu store_event=%llu "
+                   "at_event=%llu: %s [%s]\n",
+                   analysis::diag_kind_name(d.kind), d.worker,
+                   static_cast<unsigned long long>(d.tx_id),
+                   static_cast<unsigned long long>(d.line),
+                   static_cast<unsigned long long>(d.store_event),
+                   static_cast<unsigned long long>(d.at_event), d.what, d.state);
+    }
+  }
+  if (const char* path = std::getenv("REPRO_PSAN_OUT")) {
+    if (std::FILE* f = std::fopen(path, "a")) {
+      std::fprintf(f,
+                   "{\"enabled\":true,\"events\":%llu,\"checks\":%llu,"
+                   "\"missing_flush\":%llu,\"misordered_persist\":%llu,"
+                   "\"redundant_flush\":%llu,\"redundant_fence\":%llu,"
+                   "\"unflushed_at_crash\":%llu,\"torn_at_crash\":%llu,"
+                   "\"diags_dropped\":%llu}\n",
+                   static_cast<unsigned long long>(s.events),
+                   static_cast<unsigned long long>(s.checks),
+                   static_cast<unsigned long long>(s.missing_flush),
+                   static_cast<unsigned long long>(s.misordered_persist),
+                   static_cast<unsigned long long>(s.redundant_flush),
+                   static_cast<unsigned long long>(s.redundant_fence),
+                   static_cast<unsigned long long>(s.unflushed_at_crash),
+                   static_cast<unsigned long long>(s.torn_at_crash),
+                   static_cast<unsigned long long>(s.diags_dropped));
+      std::fclose(f);
+    }
+  }
+}
+
+void Memory::psan_store(sim::ExecContext& ctx, const void* addr, size_t len,
+                        Space space) {
+  const uint64_t first = line_of(addr);
+  const uint64_t last = line_of(static_cast<const char*>(addr) + (len ? len - 1 : 0));
+  psan_->on_store(ctx.worker_id(), first, last, space == Space::kLog);
+}
+
+void Memory::psan_check_persisted(sim::ExecContext& ctx, const void* addr, size_t len,
+                                  analysis::DiagKind kind, const char* what) {
+  if (!psan_) return;
+  const uint64_t first = line_of(addr);
+  const uint64_t last = line_of(static_cast<const char*>(addr) + (len ? len - 1 : 0));
+  psan_->check_persisted(ctx.worker_id(), first, last, kind, what);
 }
 
 Media Memory::media_of(uint64_t line, Space space) const {
@@ -164,11 +234,13 @@ void Memory::store_bytes(sim::ExecContext& ctx, stats::TxCounters* c, void* dst,
   model_addr(ctx, c, dst, len, /*is_write=*/true, space);
   std::memcpy(dst, src, len);
   if (cfg_.crash_sim) track_store(dst, len);
+  if (psan_) psan_store(ctx, dst, len, space);
 }
 
 void Memory::clwb(sim::ExecContext& ctx, stats::TxCounters* c, const void* addr) {
   if (cfg_.domain != Domain::kAdr) return;  // eADR & friends elide flushes
   maybe_crash_event();
+  if (psan_) psan_->on_clwb(ctx.worker_id(), line_of(addr));
   if (c) {
     c->clwbs++;
     const Media m = media_of(line_of(addr), Space::kData);
@@ -231,6 +303,7 @@ void Memory::persist_lines(sim::ExecContext& ctx, stats::TxCounters* c, uint64_t
 void Memory::sfence(sim::ExecContext& ctx, stats::TxCounters* c) {
   if (cfg_.domain != Domain::kAdr) return;
   maybe_crash_event();
+  if (psan_) psan_->on_sfence(ctx.worker_id());
   if (c) {
     c->sfences++;
     c->energy_pj += energy_.sfence_pj;
@@ -409,9 +482,11 @@ void Memory::simulate_power_failure(util::Rng& rng) {
   clear_dirty_all();
   armed_.store(false, std::memory_order_release);
   frozen_.store(false, std::memory_order_release);
+  if (psan_) psan_->on_power_failure();
 }
 
 void Memory::checkpoint_all_persistent() {
+  if (psan_) psan_->on_checkpoint();
   if (!cfg_.crash_sim) return;
   std::lock_guard<std::mutex> lk(track_mu_);
   std::memcpy(image_.get(), base_, size_);

@@ -39,6 +39,11 @@
 
 #include <atomic>
 
+namespace analysis {
+class Psan;
+enum class DiagKind : uint8_t;
+}  // namespace analysis
+
 namespace nvm {
 
 /// Thrown at an armed crash point (see Memory::arm_crash_after). Unwinds
@@ -54,6 +59,7 @@ class Memory {
   static constexpr size_t kMaxExtraLogRanges = 256;
 
   Memory(const SystemConfig& cfg, char* base, size_t size);
+  ~Memory();
 
   // ----- word accesses (the PTM's unit of logging) ---------------------
 
@@ -69,6 +75,7 @@ class Memory {
     model_addr(ctx, c, addr, 8, /*is_write=*/true, space);
     std::atomic_ref<uint64_t>(*addr).store(val, std::memory_order_release);
     if (cfg_.crash_sim) track_store(addr, 8);
+    if (psan_) psan_store(ctx, addr, 8, space);
   }
 
   /// Bulk store with tracking/modelling (used by population and recovery;
@@ -86,6 +93,7 @@ class Memory {
     maybe_crash_event();
     model_addr(ctx, c, addr, 8, /*is_write=*/true, space);
     if (cfg_.crash_sim) track_store(addr, 8);
+    if (psan_) psan_store(ctx, addr, 8, space);
   }
 
   // ----- cache-footprint-only accesses (no real bytes) -----------------
@@ -158,6 +166,19 @@ class Memory {
     return event_count_.load(std::memory_order_relaxed);
   }
 
+  // ----- persistency sanitizer -------------------------------------------
+
+  /// The sanitizer instance, or nullptr when off (SystemConfig::psan is
+  /// false and REPRO_PSAN is unset). Callers needing more than the
+  /// ordering-point helper below (summaries, drain) go through this.
+  analysis::Psan* psan() const { return psan_.get(); }
+
+  /// Declare an ordering point: every store the calling worker made to
+  /// [addr, addr+len) must be persisted by now; psan emits one `kind`
+  /// diagnostic per line that is not. No-op when psan is off.
+  void psan_check_persisted(sim::ExecContext& ctx, const void* addr, size_t len,
+                            analysis::DiagKind kind, const char* what);
+
   // ----- geometry ---------------------------------------------------------
 
   /// Tell the model which line range holds the PTM per-thread logs (so
@@ -228,6 +249,10 @@ class Memory {
 
   void track_store(const void* addr, size_t len);
 
+  // Out-of-line psan store hook (keeps the hot inline paths to one
+  // pointer test when the sanitizer is off).
+  void psan_store(sim::ExecContext& ctx, const void* addr, size_t len, Space space);
+
   void maybe_crash_event() {
     if (cfg_.crash_sim) event_count_.fetch_add(1, std::memory_order_relaxed);
     if (!armed_.load(std::memory_order_acquire)) return;
@@ -296,6 +321,8 @@ class Memory {
   std::vector<uint64_t> dirty_bitmap_;           // 1 bit per line
   std::vector<uint64_t> dirty_list_;             // unique dirty line ids
   std::vector<std::vector<PendingLine>> pending_;  // per worker: clwb'd, unfenced
+
+  std::unique_ptr<analysis::Psan> psan_;
 
   std::atomic<bool> armed_{false};
   std::atomic<bool> frozen_{false};

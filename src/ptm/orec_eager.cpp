@@ -7,6 +7,7 @@
 // workloads (Figures 3/4), with TATP as the small-write-set exception.
 #include <cassert>
 
+#include "analysis/psan.h"
 #include "ptm/runtime.h"
 #include "ptm/tx.h"
 
@@ -67,6 +68,7 @@ void Tx::eager_write(uint64_t* waddr, uint64_t val) {
   {
     // The per-write undo persist is undo logging's flush-drain window.
     stats::PhaseTimer ft(*ctx_, &c_->phases, stats::Phase::kFlushDrain);
+    analysis::PhaseScope ps(psan_, worker_, stats::Phase::kFlushDrain);
     mem.store_word(*ctx_, c_, &slot_.header->log_count, n_log_, nvm::Space::kLog);
     if (!active_persisted_) {
       mem.store_word(*ctx_, c_, &slot_.header->algo, static_cast<uint64_t>(algo_),
@@ -79,6 +81,14 @@ void Tx::eager_write(uint64_t* waddr, uint64_t val) {
     persist_slot_header();
     mem.sfence(*ctx_, c_);
   }
+
+  // Ordering point (undo rule): the in-place store below must not precede
+  // the durability of its undo record and the ACTIVE header — a crash
+  // between them would find new data with no record to roll it back.
+  psan_check_log_persisted(entry_idx, 1, analysis::DiagKind::kMisorderedPersist,
+                           "in-place store ahead of its undo record");
+  psan_check_header_persisted(analysis::DiagKind::kMisorderedPersist,
+                              "in-place store ahead of the ACTIVE slot header");
 
   // Speculative in-place store (protected by the orec lock).
   mem.store_word(*ctx_, c_, waddr, val, nvm::Space::kData);
@@ -104,11 +114,24 @@ void Tx::eager_commit() {
 
   {
     stats::PhaseTimer ft(*ctx_, &c_->phases, stats::Phase::kFlushDrain);
-    // Persist the in-place writes, then the commit record.
-    for (const uint64_t line : dirty_.lines()) {
-      mem.clwb(*ctx_, c_, pool.base() + line * nvm::Memory::kLineBytes);
+    analysis::PhaseScope ps(psan_, worker_, stats::Phase::kFlushDrain);
+    // Persist the in-place writes, then the commit record. Alloc-only /
+    // free-only transactions have no in-place writes and skip the batch
+    // entirely — flushing nothing and fencing nothing (psan's
+    // redundant-fence lint flagged the unconditional sfence here).
+    if (!dirty_.lines().empty()) {
+      for (const uint64_t line : dirty_.lines()) {
+        mem.clwb(*ctx_, c_, pool.base() + line * nvm::Memory::kLineBytes);
+      }
+      mem.sfence(*ctx_, c_);
     }
-    mem.sfence(*ctx_, c_);
+    // Ordering point (commit seal): every in-place write and the slot
+    // header must be durable before the COMMITTED record — recovery must
+    // never see a commit record whose effects it cannot reproduce.
+    psan_check_dirty_persisted(analysis::DiagKind::kMissingFlush,
+                               "in-place write unpersisted at commit-record seal");
+    psan_check_header_persisted(analysis::DiagKind::kMissingFlush,
+                                "slot header unpersisted at commit-record seal");
     set_status(TxSlotHeader::kCommitted, /*fence=*/true);
   }
   // ---- durable commit point ----

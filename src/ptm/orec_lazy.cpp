@@ -7,6 +7,7 @@
 // to undo for all workloads with non-trivial write sets.
 #include <cassert>
 
+#include "analysis/psan.h"
 #include "ptm/runtime.h"
 #include "ptm/tx.h"
 #include "util/crc32.h"
@@ -108,6 +109,7 @@ void Tx::lazy_commit() {
     // the write-back flush — the fence-extended region the paper blames for
     // longer lock-hold times under ADR.
     stats::PhaseTimer ft(*ctx_, &c_->phases, stats::Phase::kFlushDrain);
+    analysis::PhaseScope ps(psan_, worker_, stats::Phase::kFlushDrain);
 
     // 4. Persist the redo log, then the commit record (ADR: one fence each;
     //    eADR/PDRAM elide the flushes inside mem).
@@ -130,20 +132,40 @@ void Tx::lazy_commit() {
     persist_log_range(0, n_log_);
     persist_slot_header();
     mem.sfence(*ctx_, c_);
+    // Ordering point (redo rule): the whole redo log and its header must
+    // be durable before the COMMITTED record — a commit record over a
+    // torn log is exactly the inconsistency recovery's CRCs exist to
+    // catch, and without it redo replay applies garbage.
+    psan_check_log_persisted(0, n_log_, analysis::DiagKind::kMissingFlush,
+                             "redo record unpersisted at commit-record seal");
+    psan_check_header_persisted(analysis::DiagKind::kMissingFlush,
+                                "slot header unpersisted at commit-record seal");
     set_status(TxSlotHeader::kCommitted, /*fence=*/true);
     // ---- durable commit point ----
 
-    // 5. Write back to home locations and persist them.
-    for (size_t i = 0; i < n_log_; i++) {
-      const LogEntry* e = slot_.entry_at(i);
-      auto* home = static_cast<uint64_t*>(pool.at(LogEntry::offset_of(e->off)));
-      mem.store_word(*ctx_, c_, home, e->val, nvm::Space::kData);
-      dirty_.add(mem.line_of(home));
+    // Ordering point (write-back rule): home-location stores must not
+    // start until the commit record is durable — otherwise a crash sees
+    // partially-written-back data with an un-sealed log, and recovery
+    // rolls the slot back over data the write-back already changed.
+    psan_check_header_persisted(analysis::DiagKind::kMisorderedPersist,
+                                "write-back ahead of the sealed commit record");
+
+    // 5. Write back to home locations and persist them. Alloc-only /
+    // free-only transactions (n_log_ == 0) have nothing to write back and
+    // skip the batch — flushing nothing and fencing nothing (psan's
+    // redundant-fence lint flagged the unconditional sfence here).
+    if (n_log_ > 0) {
+      for (size_t i = 0; i < n_log_; i++) {
+        const LogEntry* e = slot_.entry_at(i);
+        auto* home = static_cast<uint64_t*>(pool.at(LogEntry::offset_of(e->off)));
+        mem.store_word(*ctx_, c_, home, e->val, nvm::Space::kData);
+        dirty_.add(mem.line_of(home));
+      }
+      for (const uint64_t line : dirty_.lines()) {
+        mem.clwb(*ctx_, c_, pool.base() + line * nvm::Memory::kLineBytes);
+      }
+      mem.sfence(*ctx_, c_);
     }
-    for (const uint64_t line : dirty_.lines()) {
-      mem.clwb(*ctx_, c_, pool.base() + line * nvm::Memory::kLineBytes);
-    }
-    mem.sfence(*ctx_, c_);
   }
 
   // 6. Apply deferred frees now that the transaction is durably committed.

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "analysis/psan.h"
 #include "ptm/runtime.h"
 
 namespace ptm {
@@ -18,6 +19,7 @@ Tx::Tx(Runtime& rt, int worker)
       rng_(0x74785eedull + static_cast<uint64_t>(worker) * 0x1234567ull) {
   nvm::Pool& pool = rt.pool();
   crc_logs_ = pool.config().crash_sim;
+  psan_ = pool.mem().psan();
   slot_ = SlotLayout::carve(pool.worker_meta(worker), pool.worker_meta_bytes());
   slot_.attach_segments(pool);
   epoch_ = TxSlotHeader::epoch_of(slot_.header->status);
@@ -43,6 +45,7 @@ void Tx::begin() {
   tx_allocs_.clear();
   tx_frees_.clear();
   ctx_->advance(static_cast<uint64_t>(rt_->pool().config().cost.tx_begin_ns));
+  if (psan_) psan_->on_tx_begin(worker_);
   if (TxObserver* ob = rt_->observer()) ob->on_begin(worker_);
 }
 
@@ -120,18 +123,21 @@ void Tx::commit() {
   update_log_hwm();
   c_->commits++;
   attempt_ = 0;
+  if (psan_) psan_->on_tx_end(worker_);
   if (TxObserver* ob = rt_->observer()) ob->on_commit(worker_, commit_ticket_);
   if (timed) c_->phases.record(stats::Phase::kCommit, ctx_->now_ns() - t0);
 }
 
 void Tx::handle_abort() {
   stats::PhaseTimer pt(*ctx_, &c_->phases, stats::Phase::kAbortBackoff);
+  analysis::PhaseScope ps(psan_, worker_, stats::Phase::kAbortBackoff);
   if (algo_ == Algo::kOrecEager) {
     eager_rollback();
   } else {
     lazy_abort_cleanup();
   }
   cancel_allocs();
+  if (psan_) psan_->on_tx_end(worker_);
   if (TxObserver* ob = rt_->observer()) ob->on_abort(worker_);
   if (capacity_kind_ != CapacityKind::kNone) {
     // Capacity abort: grow the exhausted resource instead of backing off —
@@ -240,6 +246,7 @@ void* Tx::alloc(size_t n) {
   // only returns registered blocks).
   if (n_alloc_log_ >= slot_.alloc_log_cap) capacity_abort(CapacityKind::kAllocLog);
   void* p = rt_->allocator().alloc(*ctx_, c_, n);
+  analysis::PhaseScope ps(psan_, worker_, stats::Phase::kLogAppend);
   nvm::Memory& mem = rt_->pool().mem();
   const uint64_t off = rt_->pool().offset_of(p);
   uint64_t* entry = &slot_.alloc_log[n_alloc_log_];
@@ -257,6 +264,7 @@ void* Tx::alloc(size_t n) {
 
 void Tx::dealloc(void* p) {
   if (n_alloc_log_ >= slot_.alloc_log_cap) capacity_abort(CapacityKind::kAllocLog);
+  analysis::PhaseScope ps(psan_, worker_, stats::Phase::kLogAppend);
   nvm::Memory& mem = rt_->pool().mem();
   const uint64_t off = rt_->pool().offset_of(p);
   uint64_t* entry = &slot_.alloc_log[n_alloc_log_];
@@ -348,6 +356,12 @@ void Tx::set_status(uint64_t state, bool fence) {
 }
 
 void Tx::retire_logs() {
+  // Ordering point: retiring the log (IDLE) forfeits the ability to redo/
+  // undo, so every data line this transaction touched must already be
+  // durable — otherwise a crash after the retire loses the update with no
+  // log left to recover it from.
+  psan_check_dirty_persisted(analysis::DiagKind::kMissingFlush,
+                             "data must be durable before the log retires to IDLE");
   // All header fields share one cache line, so the counts and the IDLE
   // status persist together under set_status's flush+fence.
   nvm::Memory& mem = rt_->pool().mem();
@@ -377,6 +391,35 @@ bool Tx::validate_read_set() const {
     return false;
   }
   return true;
+}
+
+void Tx::psan_check_log_persisted(size_t first_entry, size_t n_entries,
+                                  analysis::DiagKind kind, const char* what) {
+  if (!psan_ || n_entries == 0) return;
+  nvm::Memory& mem = rt_->pool().mem();
+  // Same contiguous-run walk as persist_log_range: the record range may
+  // span the base log and overflow segments.
+  while (n_entries > 0) {
+    auto [run, run_cap] = slot_.span_at(first_entry);
+    assert(run != nullptr && "psan_check_log_persisted past total_capacity");
+    const size_t n = std::min(n_entries, run_cap);
+    mem.psan_check_persisted(*ctx_, run, n * sizeof(LogEntry), kind, what);
+    first_entry += n;
+    n_entries -= n;
+  }
+}
+
+void Tx::psan_check_header_persisted(analysis::DiagKind kind, const char* what) {
+  if (!psan_) return;
+  rt_->pool().mem().psan_check_persisted(*ctx_, slot_.header, sizeof(TxSlotHeader),
+                                         kind, what);
+}
+
+void Tx::psan_check_dirty_persisted(analysis::DiagKind kind, const char* what) {
+  if (!psan_) return;
+  for (const uint64_t line : dirty_.lines()) {
+    psan_->check_persisted(worker_, line, line, kind, what);
+  }
 }
 
 void Tx::update_log_hwm() {

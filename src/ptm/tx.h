@@ -32,6 +32,11 @@
 #include "stats/counters.h"
 #include "util/rng.h"
 
+namespace analysis {
+class Psan;
+enum class DiagKind : uint8_t;
+}  // namespace analysis
+
 namespace ptm {
 
 enum class Algo : uint64_t {
@@ -186,9 +191,17 @@ class Tx {
   bool validate_read_set() const;
   void update_log_hwm();
 
+  // Persistency-sanitizer ordering points (no-ops when psan_ is null).
+  // Declared here, defined in tx.cpp where analysis/psan.h is visible.
+  void psan_check_log_persisted(size_t first_entry, size_t n_entries,
+                                analysis::DiagKind kind, const char* what);
+  void psan_check_header_persisted(analysis::DiagKind kind, const char* what);
+  void psan_check_dirty_persisted(analysis::DiagKind kind, const char* what);
+
   Runtime* rt_;
   sim::ExecContext* ctx_ = nullptr;
   stats::TxCounters* c_ = nullptr;
+  analysis::Psan* psan_ = nullptr;  // owned by the pool's Memory; null when off
   int worker_;
   Algo algo_;
 

@@ -66,4 +66,21 @@ void RecoveryReport::add(const RecoveryReport& o) {
   media_faults += o.media_faults;
 }
 
+void PsanSummary::add(const PsanSummary& o) {
+  enabled = enabled || o.enabled;
+  events += o.events;
+  checks += o.checks;
+  missing_flush += o.missing_flush;
+  misordered_persist += o.misordered_persist;
+  redundant_flush += o.redundant_flush;
+  redundant_fence += o.redundant_fence;
+  unflushed_at_crash += o.unflushed_at_crash;
+  torn_at_crash += o.torn_at_crash;
+  diags_dropped += o.diags_dropped;
+  for (size_t i = 0; i < kNumPhases; i++) {
+    redundant_flush_by_phase[i] += o.redundant_flush_by_phase[i];
+    redundant_fence_by_phase[i] += o.redundant_fence_by_phase[i];
+  }
+}
+
 }  // namespace stats

@@ -109,6 +109,33 @@ struct RecoveryReport {
   void add(const RecoveryReport& o);
 };
 
+/// Aggregated verdict of the persistency sanitizer (analysis::Psan) for
+/// one pool lifetime. The correctness counters must be zero on every
+/// run of the shipped algorithms; the redundant_* counters are perf
+/// lints (extra Table III fence/flush cost), broken down by the phase
+/// taxonomy so a lint points at the code path that issued it. Serialized
+/// under the "psan" key of REPRO_JSON artifacts (only when enabled) and
+/// gated in CI by scripts/check_psan.py.
+struct PsanSummary {
+  bool enabled = false;
+  uint64_t events = 0;              // hooked store/clwb/sfence instructions
+  uint64_t checks = 0;              // (worker, line) ordering-point checks
+  uint64_t missing_flush = 0;       // correctness: unpersisted line at an ordering point
+  uint64_t misordered_persist = 0;  // correctness: store issued ahead of required persist
+  uint64_t redundant_flush = 0;     // lint: clwb of an already-persisted line
+  uint64_t redundant_fence = 0;     // lint: sfence with nothing pending
+  uint64_t unflushed_at_crash = 0;  // info: dirty-never-flushed lines at power failure
+  uint64_t torn_at_crash = 0;       // info: flushed-but-unfenced lines at power failure
+  uint64_t diags_dropped = 0;       // diagnostics beyond the storage cap (counts stay exact)
+  uint64_t redundant_flush_by_phase[kNumPhases] = {};
+  uint64_t redundant_fence_by_phase[kNumPhases] = {};
+
+  /// The CI-gated total: any nonzero value is an ordering bug.
+  uint64_t correctness() const { return missing_flush + misordered_persist; }
+
+  void add(const PsanSummary& o);
+};
+
 /// Record a phase latency if telemetry is on and a counter sink exists.
 /// The memory model uses this for WPQ-stall / fence-wait events, which are
 /// observed inside nvm::Memory rather than in Tx scope.

@@ -78,6 +78,34 @@ void write_run_result_fields(JsonWriter& w, const RunResult& r) {
   w.kv("media_faults", rec.media_faults);
   w.kv("log_range_drops", r.log_range_drops);
   w.end_object();
+
+  if (r.psan.enabled) {
+    const PsanSummary& ps = r.psan;
+    w.key("psan").begin_object();
+    w.kv("events", ps.events);
+    w.kv("checks", ps.checks);
+    w.kv("missing_flush", ps.missing_flush);
+    w.kv("misordered_persist", ps.misordered_persist);
+    w.kv("redundant_flush", ps.redundant_flush);
+    w.kv("redundant_fence", ps.redundant_fence);
+    w.kv("unflushed_at_crash", ps.unflushed_at_crash);
+    w.kv("torn_at_crash", ps.torn_at_crash);
+    w.kv("diags_dropped", ps.diags_dropped);
+    // Phase attribution for the perf lints; only phases that lint.
+    w.key("redundant_flush_by_phase").begin_object();
+    for (size_t i = 0; i < kNumPhases; i++) {
+      if (ps.redundant_flush_by_phase[i] == 0) continue;
+      w.kv(phase_name(static_cast<Phase>(i)), ps.redundant_flush_by_phase[i]);
+    }
+    w.end_object();
+    w.key("redundant_fence_by_phase").begin_object();
+    for (size_t i = 0; i < kNumPhases; i++) {
+      if (ps.redundant_fence_by_phase[i] == 0) continue;
+      w.kv(phase_name(static_cast<Phase>(i)), ps.redundant_fence_by_phase[i]);
+    }
+    w.end_object();
+    w.end_object();
+  }
 }
 
 }  // namespace stats

@@ -25,6 +25,11 @@ struct RunResult {
   RecoveryReport recovery;
   uint64_t log_range_drops = 0;
 
+  // Persistency-sanitizer verdict for this point's pool; serialized under
+  // a "psan" key only when psan.enabled (so default-config artifacts stay
+  // byte-identical to runs built before the sanitizer existed).
+  PsanSummary psan;
+
   /// Committed transactions per simulated second.
   double throughput_tx_per_sec() const {
     if (sim_ns == 0) return 0.0;

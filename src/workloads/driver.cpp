@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "analysis/psan.h"
 #include "stats/trace.h"
 
 namespace workloads {
@@ -69,6 +70,7 @@ stats::RunResult run_point(const WorkloadFactory& factory, const RunPoint& p) {
   r.totals = stats::aggregate(per_thread);
   r.recovery = recovery;
   r.log_range_drops = pool.mem().log_range_drops();
+  if (analysis::Psan* ps = pool.mem().psan()) r.psan = ps->summary();
   return r;
 }
 

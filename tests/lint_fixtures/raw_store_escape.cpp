@@ -1,0 +1,49 @@
+// Deliberately-broken fixture for scripts/pmemlint.py --self-test.
+//
+// Every access here bypasses the nvm::Memory API: the store/flush costs
+// are never modelled, the crash image never sees the write, and psan
+// never tracks the line — exactly the escapes the lint exists to reject.
+// This file is NOT compiled (it is not in any CMake target); it only has
+// to *look* like real call sites so the regex rules are exercised.
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+
+#include "nvm/pool.h"
+
+namespace lint_fixture {
+
+void raw_escapes(nvm::Pool& pool, uint64_t off, const char* src) {
+  // R1: memcpy straight into pool-managed memory — bypasses store_bytes,
+  // so no cost accounting, no crash shadow, no psan store event.
+  std::memcpy(pool.at(off), src, 64);
+
+  // R1: memset of a pool range — same escape, different libc call.
+  std::memset(pool.base() + off, 0, 128);
+
+  // R2: a writable atomic_ref over a persistent word — the CAS persists
+  // nothing and the memory model never hears about the store.
+  std::atomic_ref<uint64_t> word(*static_cast<uint64_t*>(pool.at(off)));
+  word.store(42, std::memory_order_release);
+
+  // R3: raw deref-assign through the pool access path instead of
+  // Memory::store_word.
+  *static_cast<uint64_t*>(pool.at(off)) = 42;
+
+  // R3: pointer arithmetic off the pool base, then a raw store.
+  *reinterpret_cast<uint64_t*>(pool.base() + off) = 7;
+
+  // R4: hardware persistence intrinsics — the simulator's clwb/sfence are
+  // the only flush/fence primitives; real intrinsics do nothing to the
+  // modelled crash image.
+  asm volatile("clwb (%0)" ::"r"(pool.base() + off));
+  asm volatile("sfence");
+}
+
+// Suppressed escape: a justified raw access carries an allow comment and
+// the self-test asserts it is NOT reported.
+inline void suppressed(nvm::Pool& pool, uint64_t off) {
+  *static_cast<uint64_t*>(pool.at(off)) = 1;  // pmemlint: allow(fixture: suppression must silence the rule)
+}
+
+}  // namespace lint_fixture

@@ -101,7 +101,9 @@ TEST_P(BPTreeTest, RandomInsertLookupRemoveAgainstStdMap) {
         const bool found = lookup(k, &v);
         const auto it = model.find(k);
         ASSERT_EQ(found, it != model.end());
-        if (found) ASSERT_EQ(v, it->second);
+        if (found) {
+          ASSERT_EQ(v, it->second);
+        }
         break;
       }
       default: {

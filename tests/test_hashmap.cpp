@@ -124,7 +124,9 @@ TEST_P(HashMapTest, AgainstStdMapRandomized) {
         uint64_t v = 0;
         const bool found = lookup(k, &v);
         ASSERT_EQ(found, model.count(k) > 0);
-        if (found) ASSERT_EQ(v, model[k]);
+        if (found) {
+          ASSERT_EQ(v, model[k]);
+        }
         break;
       }
       case 2: {

@@ -76,7 +76,9 @@ TEST_P(ListTest, RandomizedAgainstStdMap) {
           found = cont::SortedList::lookup(tx, head_, k, &v);
         });
         ASSERT_EQ(found, model.count(k) > 0);
-        if (found) ASSERT_EQ(v, model[k]);
+        if (found) {
+          ASSERT_EQ(v, model[k]);
+        }
         break;
       }
       default: {
