@@ -16,11 +16,19 @@ cmake --build build
 ctest --test-dir build --output-on-failure
 
 # Each binary also writes its machine-readable results to results/<name>.json
+# and its wall-clock self-profile to results/<name>.bench.json
 # (docs/OBSERVABILITY.md); diff two runs with scripts/compare_results.py.
 mkdir -p results
 
 for b in build/bench/*; do
   [[ -f "$b" && -x "$b" ]] || continue
   echo "===== $b ====="
-  REPRO_JSON="results/$(basename "$b").json" "$b"
+  REPRO_JSON="results/$(basename "$b").json" \
+    REPRO_BENCH="results/$(basename "$b").bench.json" "$b"
 done
+
+# Roll the self-profiles into the per-PR trajectory record. Successive
+# BENCH_<n>.json files chart how fast the simulator runs as the codebase
+# grows; compare_results.py --trajectory flags sim-speed regressions.
+python3 scripts/bench_trajectory.py --out "BENCH_${BENCH_PR:-6}.json" \
+  --pr "${BENCH_PR:-6}" results/*.bench.json

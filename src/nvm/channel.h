@@ -31,6 +31,8 @@ class BandwidthChannel {
     const uint64_t svc = static_cast<uint64_t>(svc_ns);
     const uint64_t start = next_free_ns_ > now ? next_free_ns_ : now;
     next_free_ns_ = start + svc;
+    requests_++;
+    busy_ns_ += svc;
     return Grant{start - now, start, start + svc};
   }
 
@@ -39,10 +41,22 @@ class BandwidthChannel {
     return next_free_ns_ > now ? next_free_ns_ - now : 0;
   }
 
-  void reset() { next_free_ns_ = 0; }
+  // Utilization accounting for the device counters (stats::DeviceCounters):
+  // total lines granted and total booked service time. busy/elapsed is the
+  // channel's utilization; 1.0 means saturated.
+  uint64_t requests() const { return requests_; }
+  uint64_t busy_ns() const { return busy_ns_; }
+
+  void reset() {
+    next_free_ns_ = 0;
+    requests_ = 0;
+    busy_ns_ = 0;
+  }
 
  private:
   uint64_t next_free_ns_ = 0;
+  uint64_t requests_ = 0;
+  uint64_t busy_ns_ = 0;
 };
 
 }  // namespace nvm

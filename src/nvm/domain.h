@@ -54,6 +54,14 @@ struct SystemConfig {
   /// forces it on regardless of this flag.
   bool psan = false;
 
+  /// Collect emulated-DIMM performance counters (stats::DevStats): media
+  /// traffic at 256B XPLine granularity with write/read amplification,
+  /// XPBuffer hit/miss, WPQ occupancy/drain histograms, channel
+  /// utilization. Pure observation — never charges simulated time — and
+  /// zero-cost when off (one null-pointer test per hook, like psan).
+  /// REPRO_DEVSTATS=1 forces it on regardless of this flag.
+  bool devstats = false;
+
   // Crash-simulation adversary: probability that a dirty-but-unflushed
   // line (or a clwb'd-but-unfenced line) happens to persist anyway, as a
   // real cache/WPQ might spontaneously write it back before the failure.

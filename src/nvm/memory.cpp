@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "analysis/psan.h"
+#include "stats/devstats.h"
 #include "stats/trace.h"
 
 namespace nvm {
@@ -28,6 +29,9 @@ Memory::Memory(const SystemConfig& cfg, char* base, size_t size)
   }
   if (cfg_.psan || analysis::Psan::env_enabled()) {
     psan_ = std::make_unique<analysis::Psan>(cfg_, num_lines_, cfg_.max_workers);
+  }
+  if (cfg_.devstats || stats::DevStats::env_enabled()) {
+    devstats_ = std::make_unique<stats::DevStats>(cfg_.max_workers);
   }
 }
 
@@ -165,6 +169,7 @@ void Memory::model_line(sim::ExecContext& ctx, stats::TxCounters* c, uint64_t li
       }
       const auto g = read_chan(Media::kDram).request(now, cm.read_svc_ns(Media::kDram));
       cost += cm.dram_load_ns + static_cast<double>(g.wait_ns);
+      if (devstats_) devstats_->on_media_read(stats::kMediaDram, line, now);
     } else {
       if (c) {
         c->dram_cache_misses++;
@@ -172,11 +177,13 @@ void Memory::model_line(sim::ExecContext& ctx, stats::TxCounters* c, uint64_t li
       }
       const auto g = read_chan(Media::kOptane).request(now, cm.read_svc_ns(Media::kOptane));
       cost += cm.optane_load_ns + static_cast<double>(g.wait_ns);
+      if (devstats_) devstats_->on_media_read(stats::kMediaOptane, line, now);
       if (dr.evicted_dirty_line != DramCacheDirectory::kNoLine) {
         // Victim writeback to Optane happens off the critical path; the
         // accessor only stalls if the write channel is saturated.
         auto& wc = write_chan(Media::kOptane);
         wc.request(now, cm.write_svc_ns(Media::kOptane));
+        if (devstats_) devstats_->on_media_write(stats::kMediaOptane, dr.evicted_dirty_line, now);
         const uint64_t threshold = static_cast<uint64_t>(
             cm.write_svc_ns(Media::kOptane) * cfg_.cost.wpq_capacity);
         const uint64_t backlog = wc.backlog_ns(now);
@@ -184,6 +191,7 @@ void Memory::model_line(sim::ExecContext& ctx, stats::TxCounters* c, uint64_t li
           const uint64_t stall = backlog - threshold;
           if (c) c->wpq_stall_ns += stall;
           stats::record_phase(c, stats::Phase::kWpqStall, stall);
+          if (devstats_) devstats_->on_wpq_stall(ctx.worker_id(), stall);
           cost += static_cast<double>(stall);
         }
       }
@@ -192,9 +200,11 @@ void Memory::model_line(sim::ExecContext& ctx, stats::TxCounters* c, uint64_t li
     const auto g = read_chan(med).request(now, cm.read_svc_ns(med));
     cost += cm.load_latency_ns(med) + static_cast<double>(g.wait_ns);
     if (c) c->energy_pj += energy_.read_pj(med);
+    if (devstats_) devstats_->on_media_read(media_index(med), line, now);
   }
   if (is_write) cost += cm.store_ns;
   ctx.advance(static_cast<uint64_t>(cost));
+  if (devstats_) maybe_devstats_sample(ctx.now_ns());
 }
 
 void Memory::background_writeback(sim::ExecContext& ctx, stats::TxCounters* c, uint64_t line) {
@@ -209,6 +219,7 @@ void Memory::background_writeback(sim::ExecContext& ctx, stats::TxCounters* c, u
     med = Media::kDram;
     if (!dr.hit && dr.evicted_dirty_line != DramCacheDirectory::kNoLine) {
       write_chan(Media::kOptane).request(now, cm.write_svc_ns(Media::kOptane));
+      if (devstats_) devstats_->on_media_write(stats::kMediaOptane, dr.evicted_dirty_line, now);
     }
   } else {
     med = media_of(line, Space::kData);
@@ -217,6 +228,7 @@ void Memory::background_writeback(sim::ExecContext& ctx, stats::TxCounters* c, u
   auto& wc = write_chan(med);
   wc.request(now, cm.write_svc_ns(med));
   if (c) c->energy_pj += energy_.write_pj(med);
+  if (devstats_) devstats_->on_media_write(media_index(med), line, now);
   const uint64_t threshold =
       static_cast<uint64_t>(cm.write_svc_ns(med) * cfg_.cost.wpq_capacity);
   const uint64_t backlog = wc.backlog_ns(now);
@@ -224,6 +236,7 @@ void Memory::background_writeback(sim::ExecContext& ctx, stats::TxCounters* c, u
     const uint64_t stall = backlog - threshold;
     if (c) c->wpq_stall_ns += stall;
     stats::record_phase(c, stats::Phase::kWpqStall, stall);
+    if (devstats_) devstats_->on_wpq_stall(ctx.worker_id(), stall);
     ctx.advance(stall);
   }
 }
@@ -259,13 +272,20 @@ void Memory::clwb(sim::ExecContext& ctx, stats::TxCounters* c, const void* addr)
       const uint64_t stall = avail - ctx.now_ns();
       if (c) c->wpq_stall_ns += stall;
       stats::record_phase(c, stats::Phase::kWpqStall, stall);
+      if (devstats_) devstats_->on_wpq_stall(ctx.worker_id(), stall);
       if (stats::Trace::on()) {
         stats::Trace::instance().span(ctx.worker_id(), "wpq_stall", ctx.now_ns(), stall);
       }
       ctx.advance_to(avail);
     }
-    wpq_.enqueue(ctx.worker_id(), ctx.now_ns(), write_chan(med), cm.write_svc_ns(med),
-                 cm.clwb_latency_ns(med));
+    const uint64_t done = wpq_.enqueue(ctx.worker_id(), ctx.now_ns(), write_chan(med),
+                                       cm.write_svc_ns(med), cm.clwb_latency_ns(med));
+    if (devstats_) {
+      devstats_->on_media_write(media_index(med), line, ctx.now_ns());
+      devstats_->on_wpq_enqueue(ctx.worker_id(), wpq_.occupancy(ctx.now_ns()),
+                                done - ctx.now_ns());
+      maybe_devstats_sample(ctx.now_ns());
+    }
   }
 
   if (cfg_.crash_sim) {
@@ -293,11 +313,18 @@ void Memory::persist_lines(sim::ExecContext& ctx, stats::TxCounters* c, uint64_t
       const uint64_t stall = avail - ctx.now_ns();
       if (c) c->wpq_stall_ns += stall;
       stats::record_phase(c, stats::Phase::kWpqStall, stall);
+      if (devstats_) devstats_->on_wpq_stall(ctx.worker_id(), stall);
       ctx.advance_to(avail);
     }
-    wpq_.enqueue(ctx.worker_id(), ctx.now_ns(), write_chan(med), cm.write_svc_ns(med),
-                 cm.clwb_latency_ns(med));
+    const uint64_t done = wpq_.enqueue(ctx.worker_id(), ctx.now_ns(), write_chan(med),
+                                       cm.write_svc_ns(med), cm.clwb_latency_ns(med));
+    if (devstats_) {
+      devstats_->on_media_write(media_index(med), line, ctx.now_ns());
+      devstats_->on_wpq_enqueue(ctx.worker_id(), wpq_.occupancy(ctx.now_ns()),
+                                done - ctx.now_ns());
+    }
   }
+  if (devstats_) maybe_devstats_sample(ctx.now_ns());
 }
 
 void Memory::sfence(sim::ExecContext& ctx, stats::TxCounters* c) {
@@ -316,6 +343,7 @@ void Memory::sfence(sim::ExecContext& ctx, stats::TxCounters* c) {
       const uint64_t wait = drain - ctx.now_ns();
       if (c) c->fence_wait_ns += wait;
       stats::record_phase(c, stats::Phase::kFenceWait, wait);
+      if (devstats_) devstats_->on_fence_stall(ctx.worker_id(), wait);
       if (stats::Trace::on()) {
         stats::Trace::instance().span(ctx.worker_id(), "fence_wait", ctx.now_ns(), wait);
       }
@@ -504,6 +532,36 @@ void Memory::prewarm_directory(uint64_t first_line, uint64_t nlines) {
   for (uint64_t i = 0; i < nlines; i++) {
     dram_dir_.access(first_line + i, /*is_write=*/false);
   }
+}
+
+void Memory::maybe_devstats_sample(uint64_t now_ns) {
+  if (!stats::Trace::on()) return;
+  if (!devstats_->sample_due(now_ns)) return;
+  devstats_sample(now_ns);
+}
+
+void Memory::devstats_sample(uint64_t now_ns) {
+  const std::array<uint64_t, stats::kNumChannels> busy = {
+      dram_read_.busy_ns(), dram_write_.busy_ns(), optane_read_.busy_ns(),
+      optane_write_.busy_ns()};
+  devstats_->emit_counters(stats::Trace::instance(), now_ns, wpq_.occupancy(now_ns),
+                           busy);
+}
+
+stats::DeviceCounters Memory::device_snapshot(uint64_t sim_end_ns) {
+  stats::DeviceCounters d = devstats_->snapshot();
+  const BandwidthChannel* chans[stats::kNumChannels] = {&dram_read_, &dram_write_,
+                                                        &optane_read_, &optane_write_};
+  for (size_t i = 0; i < stats::kNumChannels; i++) {
+    d.channels[i].requests = chans[i]->requests();
+    d.channels[i].busy_ns = chans[i]->busy_ns();
+  }
+  d.sim_end_ns = sim_end_ns;
+  d.reserve_energy_j = energy_.reserve_energy_j(cfg_);
+  d.drain_seconds = energy_.drain_seconds(cfg_);
+  d.reserve_technology = EnergyModel::reserve_technology(d.reserve_energy_j);
+  if (stats::Trace::on()) devstats_sample(sim_end_ns);
+  return d;
 }
 
 void Memory::reset_models() {

@@ -44,6 +44,11 @@ class Psan;
 enum class DiagKind : uint8_t;
 }  // namespace analysis
 
+namespace stats {
+class DevStats;
+struct DeviceCounters;
+}  // namespace stats
+
 namespace nvm {
 
 /// Thrown at an armed crash point (see Memory::arm_crash_after). Unwinds
@@ -179,6 +184,28 @@ class Memory {
   void psan_check_persisted(sim::ExecContext& ctx, const void* addr, size_t len,
                             analysis::DiagKind kind, const char* what);
 
+  // ----- emulated DIMM performance counters ------------------------------
+
+  /// The device-counter collector, or nullptr when off (SystemConfig::
+  /// devstats false and REPRO_DEVSTATS unset).
+  stats::DevStats* devstats() const { return devstats_.get(); }
+
+  /// Assemble the run's "device" section: the collector's media/XPBuffer/
+  /// WPQ counters plus channel utilization and the energy model's reserve
+  /// estimates. `sim_end_ns` is the run's simulated duration (utilization
+  /// denominator). When tracing is on, a final counter sample is emitted
+  /// at `sim_end_ns` so even short runs carry "ph":"C" events. Requires
+  /// devstats to be enabled.
+  stats::DeviceCounters device_snapshot(uint64_t sim_end_ns);
+
+  /// Total bandwidth-channel requests across all four channels — the
+  /// self-profiler's "channel" subsystem event count (always counted; two
+  /// integer adds per request).
+  uint64_t channel_requests() const {
+    return dram_read_.requests() + dram_write_.requests() + optane_read_.requests() +
+           optane_write_.requests();
+  }
+
   // ----- geometry ---------------------------------------------------------
 
   /// Tell the model which line range holds the PTM per-thread logs (so
@@ -253,6 +280,15 @@ class Memory {
   // pointer test when the sanitizer is off).
   void psan_store(sim::ExecContext& ctx, const void* addr, size_t len, Space space);
 
+  // Devstats helpers (only reached when devstats_ is non-null).
+  static int media_index(Media m) { return m == Media::kDram ? 0 : 1; }
+  // Emit one batch of trace counter events at simulated time `now` and
+  // schedule the next sample.
+  void devstats_sample(uint64_t now_ns);
+  // Cheap periodic check from the hooks: sample when tracing is on and the
+  // sample instant has been reached.
+  void maybe_devstats_sample(uint64_t now_ns);
+
   void maybe_crash_event() {
     if (cfg_.crash_sim) event_count_.fetch_add(1, std::memory_order_relaxed);
     if (!armed_.load(std::memory_order_acquire)) return;
@@ -323,6 +359,7 @@ class Memory {
   std::vector<std::vector<PendingLine>> pending_;  // per worker: clwb'd, unfenced
 
   std::unique_ptr<analysis::Psan> psan_;
+  std::unique_ptr<stats::DevStats> devstats_;
 
   std::atomic<bool> armed_{false};
   std::atomic<bool> frozen_{false};

@@ -60,6 +60,17 @@ class Wpq {
     return per_worker_last_done_[static_cast<size_t>(worker)];
   }
 
+  /// Entries still in flight at simulated time `now` (devstats only; the
+  /// ring is small — wpq_capacity — so the scan is cheap and off the
+  /// default path).
+  uint64_t occupancy(uint64_t now) const {
+    uint64_t n = 0;
+    for (const uint64_t done : ring_) {
+      if (done > now) n++;
+    }
+    return n;
+  }
+
   void reset() {
     std::fill(ring_.begin(), ring_.end(), 0);
     std::fill(per_worker_last_done_.begin(), per_worker_last_done_.end(), 0);

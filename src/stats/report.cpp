@@ -1,6 +1,22 @@
 #include "stats/report.h"
 
 namespace stats {
+namespace {
+
+// Occupancy histograms count queue entries, not nanoseconds — same summary
+// shape as write_histogram_summary but without the _ns suffixes.
+void write_count_histogram_summary(JsonWriter& w, const Histogram& h) {
+  w.begin_object();
+  w.kv("count", h.count());
+  w.kv("mean", h.mean());
+  w.kv("p50", h.p50());
+  w.kv("p90", h.p90());
+  w.kv("p99", h.p99());
+  w.kv("max", h.max());
+  w.end_object();
+}
+
+}  // namespace
 
 void write_histogram_summary(JsonWriter& w, const Histogram& h) {
   w.begin_object();
@@ -106,6 +122,86 @@ void write_run_result_fields(JsonWriter& w, const RunResult& r) {
     w.end_object();
     w.end_object();
   }
+
+  if (r.device.enabled) {
+    w.key("device").begin_object();
+    write_device_fields(w, r.device, r.totals.energy_pj);
+    w.end_object();
+  }
+}
+
+void write_device_fields(JsonWriter& w, const DeviceCounters& d, double dynamic_pj) {
+  w.kv("enabled", d.enabled);
+
+  w.key("optane").begin_object();
+  w.kv("host_lines_written", d.host_lines_written);
+  w.kv("host_lines_read", d.host_lines_read);
+  w.kv("xpline_writes", d.xpline_writes);
+  w.kv("xpline_reads", d.xpline_reads);
+  w.kv("xpline_rmw_reads", d.xpline_rmw_reads);
+  w.kv("write_amplification", d.write_amplification());
+  w.kv("effective_write_ratio", d.effective_write_ratio());
+  w.kv("read_amplification", d.read_amplification());
+  w.end_object();
+
+  w.key("xpbuffer").begin_object();
+  w.kv("hits", d.xpbuffer_hits);
+  w.kv("misses", d.xpbuffer_misses);
+  w.kv("read_hits", d.xpbuffer_read_hits);
+  w.kv("drains", d.xpbuffer_drains);
+  w.kv("flushes", d.xpbuffer_flushes);
+  w.kv("hit_rate", d.xpbuffer_hit_rate());
+  w.end_object();
+
+  w.key("dram").begin_object();
+  w.kv("lines_read", d.dram_lines_read);
+  w.kv("lines_written", d.dram_lines_written);
+  w.end_object();
+
+  w.key("wpq").begin_object();
+  w.kv("enqueues", d.wpq_enqueues);
+  w.kv("peak_occupancy", d.wpq_peak_occupancy);
+  w.key("occupancy");
+  write_count_histogram_summary(w, d.wpq_occupancy);
+  w.key("drain_ns");
+  write_histogram_summary(w, d.wpq_drain_ns);
+  w.key("workers").begin_array();
+  for (const WpqWorkerStats& ws : d.wpq_workers) {
+    w.begin_object();
+    w.kv("worker", ws.worker);
+    w.key("occupancy");
+    write_count_histogram_summary(w, ws.occupancy);
+    w.key("drain_ns");
+    write_histogram_summary(w, ws.drain_ns);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  // Stall-time histograms named by the PR 1 phase taxonomy.
+  w.key("stalls").begin_object();
+  w.key("fence_wait");
+  write_histogram_summary(w, d.fence_stall_ns);
+  w.key("wpq_stall");
+  write_histogram_summary(w, d.wpq_stall_ns);
+  w.end_object();
+
+  w.key("channels").begin_object();
+  for (size_t i = 0; i < kNumChannels; i++) {
+    w.key(channel_name(i)).begin_object();
+    w.kv("requests", d.channels[i].requests);
+    w.kv("busy_ns", d.channels[i].busy_ns);
+    w.kv("utilization", d.channels[i].utilization(d.sim_end_ns));
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("energy").begin_object();
+  w.kv("dynamic_pj", dynamic_pj);
+  w.kv("reserve_energy_j", d.reserve_energy_j);
+  w.kv("drain_seconds", d.drain_seconds);
+  w.kv("reserve_technology", d.reserve_technology);
+  w.end_object();
 }
 
 }  // namespace stats

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "stats/counters.h"
+#include "stats/devstats.h"
 #include "stats/json_writer.h"
 
 namespace stats {
@@ -17,6 +18,31 @@ struct RunResult {
   int threads = 1;
   uint64_t sim_ns = 0;      // simulated wall time of the run (max worker clock)
   TxCounters totals;
+
+  // Emulated DIMM counters (stats::DevStats); serialized under a "device"
+  // key only when device.enabled, so default-config artifacts stay
+  // byte-identical to runs built before the subsystem existed.
+  DeviceCounters device;
+
+  // Wall-clock self-profile of the simulation itself (never serialized in
+  // the deterministic REPRO_JSON artifact — wall time varies run to run;
+  // bench::Output routes it to the separate REPRO_BENCH artifact).
+  uint64_t wall_ns = 0;            // host time spent inside the run
+  uint64_t channel_requests = 0;   // bandwidth-channel grants (subsystem "channel")
+  uint64_t persistence_events = 0; // crash-sim persistence hooks (subsystem "fault")
+
+  /// Simulation events processed: the instrumented-access count that
+  /// dominates DES work. wall_ns / sim_events() is the self-profiler's
+  /// headline nanoseconds-per-event figure.
+  uint64_t sim_events() const {
+    return totals.pmem_loads + totals.pmem_stores + totals.clwbs + totals.sfences;
+  }
+
+  /// Events per wall-clock second (0 when wall time was not measured).
+  double sim_events_per_sec() const {
+    if (wall_ns == 0) return 0.0;
+    return static_cast<double>(sim_events()) * 1e9 / static_cast<double>(wall_ns);
+  }
 
   // Startup recovery outcome for this point's pool (a fresh pool recovers
   // trivially: all-zero except slots_scanned) plus log-range registrations
@@ -49,5 +75,11 @@ void write_run_result_fields(JsonWriter& w, const RunResult& r);
 /// Phase summary helper, also used on its own by tests: writes an object
 /// {count,sum_ns,mean_ns,p50_ns,p90_ns,p99_ns,max_ns} for one histogram.
 void write_histogram_summary(JsonWriter& w, const Histogram& h);
+
+/// Write the "device" section body (media/XPBuffer/WPQ/stall/channel/energy
+/// counters; docs/OBSERVABILITY.md documents the schema). `dynamic_pj` is
+/// the run's accumulated TxCounters::energy_pj. The caller owns the object
+/// braces, like write_run_result_fields.
+void write_device_fields(JsonWriter& w, const DeviceCounters& d, double dynamic_pj);
 
 }  // namespace stats

@@ -52,14 +52,11 @@ int Trace::begin_run(std::string label) {
   return cur_pid_;
 }
 
-void Trace::span(int worker, const char* name, uint64_t start_ns, uint64_t dur_ns,
-                 const char* arg_key, const char* arg_val) {
-  if (!enabled_) return;
+void Trace::record(int worker, const Event& e) {
   const size_t w = static_cast<size_t>(worker) < kMaxWorkers
                        ? static_cast<size_t>(worker)
                        : kMaxWorkers - 1;
   Ring& r = rings_[w];
-  const Event e{name, arg_key, arg_val, start_ns, dur_ns, cur_pid_, worker};
   if (r.ev.size() < cap_) {
     r.ev.push_back(e);
   } else {
@@ -67,6 +64,20 @@ void Trace::span(int worker, const char* name, uint64_t start_ns, uint64_t dur_n
     r.wrapped = true;
   }
   r.next = (r.next + 1) % cap_;
+}
+
+void Trace::span(int worker, const char* name, uint64_t start_ns, uint64_t dur_ns,
+                 const char* arg_key, const char* arg_val) {
+  if (!enabled_) return;
+  record(worker, Event{name, arg_key, arg_val, start_ns, dur_ns, 0.0, cur_pid_, worker, 'X'});
+}
+
+void Trace::counter(const char* name, uint64_t ts_ns, double value) {
+  if (!enabled_) return;
+  // Counter samples share ring 0: the devstats sampler emits them from
+  // whichever worker happens to cross the sample instant, but the track
+  // identity in the viewer is (pid, name), not the tid.
+  record(0, Event{name, nullptr, nullptr, ts_ns, 0, value, cur_pid_, 0, 'C'});
 }
 
 size_t Trace::event_count() const {
@@ -102,6 +113,19 @@ void Trace::write_json(std::ostream& os) const {
       const Event& e = r.ev[(start + i) % n];
       w.begin_object();
       w.kv("name", e.name);
+      if (e.ph == 'C') {
+        w.kv("cat", "device");
+        w.kv("ph", "C");
+        // trace_event timestamps are microseconds; keep ns precision.
+        w.kv("ts", static_cast<double>(e.ts_ns) / 1000.0);
+        w.kv("pid", e.pid);
+        w.kv("tid", e.tid);
+        w.key("args").begin_object();
+        w.kv("value", e.value);
+        w.end_object();
+        w.end_object();
+        continue;
+      }
       w.kv("cat", "ptm");
       w.kv("ph", "X");
       // trace_event timestamps are microseconds; keep ns precision.

@@ -49,6 +49,13 @@ class Trace {
   void span(int worker, const char* name, uint64_t start_ns, uint64_t dur_ns,
             const char* arg_key = nullptr, const char* arg_val = nullptr);
 
+  /// Record one Chrome counter event ("ph":"C"): a named sampled value at
+  /// simulated time `ts_ns`, rendered by trace viewers as a timeline track
+  /// per (process, name). Used by the devstats sampler for device-level
+  /// timelines (WPQ occupancy, channel utilization, write amplification).
+  /// `name` must be a string literal / static storage.
+  void counter(const char* name, uint64_t ts_ns, double value);
+
   /// Serialize every recorded event as Chrome trace JSON.
   void write_json(std::ostream& os) const;
 
@@ -67,9 +74,13 @@ class Trace {
     const char* arg_val;
     uint64_t ts_ns;
     uint64_t dur_ns;
+    double value;  // counter events only
     int pid;
     int tid;
+    char ph;  // 'X' duration span or 'C' counter sample
   };
+
+  void record(int worker, const Event& e);
 
   struct Ring {
     std::vector<Event> ev;  // grows to capacity, then wraps

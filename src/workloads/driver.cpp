@@ -1,5 +1,6 @@
 #include "workloads/driver.h"
 
+#include <chrono>
 #include <cstdlib>
 
 #include "analysis/psan.h"
@@ -54,12 +55,14 @@ stats::RunResult run_point(const WorkloadFactory& factory, const RunPoint& p) {
 
   sim::Engine engine(p.threads);
   const uint64_t ops = p.ops_per_thread;
+  const auto wall_start = std::chrono::steady_clock::now();
   engine.run([&](sim::ExecContext& ctx) {
     util::Rng rng(p.seed ^ (0x5bd1e995u * static_cast<uint64_t>(ctx.worker_id() + 1)));
     for (uint64_t i = 0; i < ops; i++) {
       w->op(rt, ctx, rng);
     }
   });
+  const auto wall_end = std::chrono::steady_clock::now();
 
   stats::RunResult r;
   r.workload = w->name();
@@ -71,6 +74,12 @@ stats::RunResult run_point(const WorkloadFactory& factory, const RunPoint& p) {
   r.recovery = recovery;
   r.log_range_drops = pool.mem().log_range_drops();
   if (analysis::Psan* ps = pool.mem().psan()) r.psan = ps->summary();
+  if (pool.mem().devstats()) r.device = pool.mem().device_snapshot(r.sim_ns);
+  r.wall_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(wall_end - wall_start)
+          .count());
+  r.channel_requests = pool.mem().channel_requests();
+  r.persistence_events = pool.mem().persistence_events();
   return r;
 }
 
