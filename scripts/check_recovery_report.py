@@ -30,6 +30,13 @@ GATED = {
     "log_range_drops": "log-range registrations dropped (PDRAM-Lite misroute)",
 }
 
+# Gated only when the point ran with log_mirror on: mirrored pools promise
+# zero-loss recovery (every damaged primary has a healthy replica), so any
+# lost record means the mirroring protocol failed its one job.
+MIRROR_GATED = {
+    "records_lost": "log records with no usable copy despite mirroring",
+}
+
 
 def check(path):
     """Returns a list of offending (bench, label, threads, key, count) tuples."""
@@ -42,7 +49,10 @@ def check(path):
             bad.append((point.get("bench", "?"), point.get("label", "?"),
                         point.get("threads", "?"), "recovery", "missing"))
             continue
-        for key, _why in GATED.items():
+        gated = dict(GATED)
+        if rec.get("mirror_enabled"):
+            gated.update(MIRROR_GATED)
+        for key, _why in gated.items():
             count = rec.get(key, 0)
             if count:
                 bad.append((point.get("bench", "?"), point.get("label", "?"),
@@ -65,7 +75,8 @@ def main(argv):
         if bad:
             failed = True
             for bench, label, threads, key, count in bad:
-                why = GATED.get(key, "recovery object absent from artifact")
+                why = GATED.get(key) or MIRROR_GATED.get(key) or \
+                    "recovery object absent from artifact"
                 print(f"{path}: recovery.{key}={count} in [{bench}] {label} "
                       f"@ {threads} threads — {why}", file=sys.stderr)
         else:

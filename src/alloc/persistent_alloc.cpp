@@ -98,11 +98,20 @@ void* PersistentAllocator::alloc(sim::ExecContext& ctx, stats::TxCounters* c, si
   uint64_t* head = head_slot(ctx.worker_id(), cls);
   const uint64_t head_off = mem.load_word(ctx, c, head, nvm::Space::kData);
   if (head_off != 0) {
-    // Pop: the block's first payload word is the next-free offset.
     auto* payload = reinterpret_cast<uint64_t*>(heap_ + head_off);
-    const uint64_t next = mem.load_word(ctx, c, payload, nvm::Space::kData);
-    persist_word(ctx, c, head, next);
-    return payload;
+    if (is_quarantined(payload - 1, 16)) {
+      // Pop-time purge: a block quarantined after it entered the free list
+      // is diverted here instead of being handed out. Its link word sits on
+      // the damaged line itself, so the remainder of this list is cut, not
+      // chased — the leak is bounded and deliberate (degraded mode).
+      persist_word(ctx, c, head, 0);
+      quarantined_blocks_++;
+    } else {
+      // Pop: the block's first payload word is the next-free offset.
+      const uint64_t next = mem.load_word(ctx, c, payload, nvm::Space::kData);
+      persist_word(ctx, c, head, next);
+      return payload;
+    }
   }
 
   // Fresh block from the bump region. The reservation is atomic; the block
@@ -121,6 +130,13 @@ void* PersistentAllocator::alloc(sim::ExecContext& ctx, stats::TxCounters* c, si
 void PersistentAllocator::free_block(sim::ExecContext& ctx, stats::TxCounters* c, void* p) {
   assert(pool_.contains(p));
   auto* payload = static_cast<uint64_t*>(p);
+  // A quarantined block never re-enters circulation: these are the lines
+  // recovery found damaged beyond repair, so the header word below may be
+  // garbage and the space must stay out of the free lists.
+  if (is_quarantined(payload - 1, 16)) {
+    quarantined_blocks_++;
+    return;
+  }
   const uint64_t hdr = *(payload - 1);
   assert(header_valid(hdr) && "free of a non-heap block");
   const int cls = header_class(hdr);
@@ -142,6 +158,10 @@ bool PersistentAllocator::in_free_list(const void* p) {
       uint64_t cur = *head_slot(w, cls);
       while (cur != 0) {
         if (cur == off) return true;
+        // A damaged (quarantined) link word could point anywhere; stop the
+        // walk at the first offset that cannot be a block rather than
+        // chasing garbage out of the heap.
+        if (cur >= heap_bytes_ || (cur & 7) != 0) break;
         cur = *reinterpret_cast<uint64_t*>(heap_ + cur);
       }
     }
@@ -169,6 +189,28 @@ size_t PersistentAllocator::usable_size(const void* p) const {
 
 uint64_t PersistentAllocator::high_water_bytes() const {
   return bump_cache_.load(std::memory_order_relaxed);
+}
+
+void PersistentAllocator::quarantine(const void* p, size_t len) {
+  if (len == 0) return;
+  assert(pool_.contains(p));
+  const char* lo = static_cast<const char*>(p);
+  const uint64_t first = static_cast<uint64_t>(lo - heap_) / 64;
+  const uint64_t last = static_cast<uint64_t>(lo + len - 1 - heap_) / 64;
+  for (uint64_t l = first; l <= last; l++) {
+    if (quarantined_lines_.insert(l).second) quarantined_bytes_ += 64;
+  }
+}
+
+bool PersistentAllocator::is_quarantined(const void* p, size_t len) const {
+  if (quarantined_lines_.empty() || len == 0) return false;
+  const char* lo = static_cast<const char*>(p);
+  const uint64_t first = static_cast<uint64_t>(lo - heap_) / 64;
+  const uint64_t last = static_cast<uint64_t>(lo + len - 1 - heap_) / 64;
+  for (uint64_t l = first; l <= last; l++) {
+    if (quarantined_lines_.count(l) != 0) return true;
+  }
+  return false;
 }
 
 }  // namespace alloc

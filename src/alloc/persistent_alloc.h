@@ -25,6 +25,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <unordered_set>
 
 #include "nvm/pool.h"
 #include "sim/context.h"
@@ -62,6 +63,27 @@ class PersistentAllocator {
 
   /// Bytes between heap start and the persistent high-water mark.
   uint64_t high_water_bytes() const;
+
+  // ----- damage quarantine (degraded-mode recovery) ---------------------
+  //
+  // Line-granular exclusion set for heap space recovery found damaged
+  // beyond repair. Quarantine metadata is volatile by design: each
+  // recover() pass re-detects the damage and re-quarantines, so a restart
+  // cannot silently recirculate a block the previous incarnation refused.
+
+  /// Exclude every 64-byte line overlapping [p, p+len) from reuse.
+  void quarantine(const void* p, size_t len);
+
+  /// Does [p, p+len) overlap any quarantined line?
+  bool is_quarantined(const void* p, size_t len) const;
+
+  uint64_t quarantined_bytes() const { return quarantined_bytes_; }
+  uint64_t quarantined_blocks() const { return quarantined_blocks_; }
+
+  /// Allocator metadata region (bump word + free-list head array), for
+  /// integrity scans: the scrubber walks these lines for media faults.
+  const char* metadata_base() const { return heap_; }
+  size_t metadata_bytes() const { return data_start_; }
 
   static size_t class_size(int cls);
   static int class_for(size_t n);
@@ -104,6 +126,10 @@ class PersistentAllocator {
   size_t data_start_;  // first usable offset after header
   int max_workers_;
   std::function<void(void*)> reclaim_hook_;
+
+  std::unordered_set<uint64_t> quarantined_lines_;  // heap-relative line idx
+  uint64_t quarantined_bytes_ = 0;   // 64 * |quarantined_lines_|
+  uint64_t quarantined_blocks_ = 0;  // blocks diverted from free lists
 };
 
 }  // namespace alloc

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "fault/harness.h"
+#include "ptm/redo_log.h"
 
 namespace fault {
 
@@ -25,6 +26,7 @@ nvm::SystemConfig fuzz_cfg(const ScheduleSpec& spec) {
   cfg.pool_size = 8ull << 20;
   cfg.max_workers = 4;
   cfg.per_worker_meta_bytes = 1ull << 17;
+  cfg.log_mirror = spec.mirror;
   cfg.l3_bytes = 1ull << 20;
   cfg.dram_cache_bytes = 2ull << 20;
   return cfg;
@@ -66,11 +68,11 @@ std::string describe(const ScheduleSpec& s) {
   char buf[192];
   std::snprintf(buf, sizeof(buf),
                 "%s/%s/%s wl_seed=%" PRIu64 " events=%" PRIu64 " crash_seed=%" PRIu64
-                " adversary=%s torn=%d media=%d",
+                " adversary=%s torn=%d media=%d mirror=%d",
                 ptm::algo_suffix(s.algo), nvm::domain_name(s.domain),
                 workload_name(s.workload), s.wl_seed, s.arm_events, s.crash_seed,
                 adversary_name(s.adversary), s.torn_stores ? 1 : 0,
-                s.media_fault ? 1 : 0);
+                s.media_fault ? 1 : 0, s.mirror ? 1 : 0);
   return std::string(buf);
 }
 
@@ -81,15 +83,16 @@ std::string repro_command(const ScheduleSpec& s) {
   std::snprintf(buf, sizeof(buf),
                 "crashfuzz --one --algo %s --domain %s --workload %s --wl-seed %" PRIu64
                 " --events %" PRIu64 " --crash-seed %" PRIu64
-                " --adversary %s --torn %d --media %d",
+                " --adversary %s --torn %d --media %d --mirror %d",
                 ptm::algo_suffix(s.algo), nvm::domain_name(s.domain),
                 workload_name(s.workload), s.wl_seed, s.arm_events, s.crash_seed,
                 adversary_name(s.adversary), s.torn_stores ? 1 : 0,
-                s.media_fault ? 1 : 0);
+                s.media_fault ? 1 : 0, s.mirror ? 1 : 0);
   return std::string(buf);
 }
 
-bool run_schedule(const ScheduleSpec& spec, std::string* why, uint64_t* events_out) {
+bool run_schedule(const ScheduleSpec& spec, std::string* why, uint64_t* events_out,
+                  stats::RecoveryReport* report_out) {
   auto fail = [&](const std::string& msg) {
     if (why) *why = msg + " [" + describe(spec) + "]";
     return false;
@@ -154,18 +157,34 @@ bool run_schedule(const ScheduleSpec& spec, std::string* why, uint64_t* events_o
   }
 
   if (spec.media_fault) {
-    // Poison one line inside worker 0's log region. Records on that line
-    // are legitimately lost, so the oracle verdict is not required — the
-    // requirements are that recovery survives, attributes the damage, and
-    // leaves a usable runtime.
-    const uint64_t line = h.pool.header()->meta_off / nvm::Memory::kLineBytes + 1 +
-                          spec.crash_seed % 16;
+    uint64_t line;
+    if (spec.mirror) {
+      // Mirrored pools must *survive* a single-copy fault: poison worker
+      // 0's primary slot-header line (even crash seeds) or the first line
+      // of its primary write log (odd seeds). The mirror holds the only
+      // remaining copy, so the strict checks below prove the fallback
+      // path actually carries the recovery.
+      ptm::SlotLayout slot = ptm::SlotLayout::carve(
+          h.pool.worker_meta(0), h.pool.worker_meta_bytes(), /*mirror=*/true);
+      const char* target = spec.crash_seed % 2 == 0
+                               ? reinterpret_cast<const char*>(slot.header)
+                               : reinterpret_cast<const char*>(slot.log);
+      line = h.pool.mem().line_of(target);
+    } else {
+      // Unmirrored: poison one line inside worker 0's log region. Records
+      // on that line are legitimately lost, so the oracle verdict is not
+      // required — the requirements are that recovery survives,
+      // attributes the damage, and leaves a usable runtime.
+      line = h.pool.header()->meta_off / nvm::Memory::kLineBytes + 1 +
+             spec.crash_seed % 16;
+    }
     h.pool.mem().inject_media_fault(line);
   }
 
   h.power_fail_and_recover(ctx, spec.crash_seed + 1);
+  if (report_out) *report_out = h.report;
 
-  if (spec.media_fault) {
+  if (spec.media_fault && !spec.mirror) {
     if (h.report.media_faults == 0) {
       return fail("media fault injected but not reported by recovery");
     }
@@ -192,17 +211,33 @@ bool run_schedule(const ScheduleSpec& spec, std::string* why, uint64_t* events_o
       }
       return fail(msg);
     }
-    // Cross-check the recovery report: with no media damage, a committed
-    // log may never fail its whole-log checksum, and no record that
-    // passed its CRC may carry an out-of-range offset.
-    if (h.report.log_crc_mismatches != 0) {
-      return fail("whole-log CRC mismatch on an undamaged log");
+    if (spec.media_fault) {
+      // Mirrored media trial: the oracle verdict above already proved no
+      // committed state went missing; recovery must additionally have
+      // seen the fault and must not have declared anything lost.
+      if (h.report.media_faults == 0) {
+        return fail("media fault injected but not reported by recovery");
+      }
+    } else {
+      // Cross-check the recovery report: with no media damage, a
+      // committed log may never fail its whole-log checksum, and no
+      // phantom fault may be reported.
+      if (h.report.log_crc_mismatches != 0) {
+        return fail("whole-log CRC mismatch on an undamaged log");
+      }
+      if (h.report.records_media_faulted != 0 || h.report.media_faults != 0) {
+        return fail("phantom media fault reported");
+      }
     }
+    // No record that passed its CRC may carry an out-of-range offset, and
+    // nothing on these schedules is allowed to be lost: without media
+    // damage every record has at least its primary copy, and with the
+    // single-copy media trials the mirror must carry the recovery.
     if (h.report.records_invalid != 0) {
       return fail("CRC-valid record with out-of-bounds offset");
     }
-    if (h.report.records_media_faulted != 0 || h.report.media_faults != 0) {
-      return fail("phantom media fault reported");
+    if (h.report.records_lost != 0) {
+      return fail("recovery reported lost records on a survivable schedule");
     }
   }
 
@@ -255,10 +290,11 @@ int run_crashfuzz(const FuzzOptions& opt) {
 
   int failures = 0;
   int run = 0;
-  auto check = [&](const ScheduleSpec& s, uint64_t* events_out = nullptr) {
+  auto check = [&](const ScheduleSpec& s, uint64_t* events_out = nullptr,
+                   stats::RecoveryReport* report_out = nullptr) {
     std::string why;
     run++;
-    if (!run_schedule(s, &why, events_out)) {
+    if (!run_schedule(s, &why, events_out, report_out)) {
       failures++;
       std::fprintf(stderr, "FAIL: %s\n  repro: %s\n", why.c_str(),
                    repro_command(s).c_str());
@@ -282,6 +318,7 @@ int run_crashfuzz(const FuzzOptions& opt) {
         s.workload = wl;
         s.wl_seed = 11;
         s.arm_events = 0;
+        s.mirror = opt.mirror;
         uint64_t total = 0;
         if (!check(s, &total)) continue;
         totals[{static_cast<int>(algo), static_cast<int>(domain), wl}] = total;
@@ -301,21 +338,48 @@ int run_crashfuzz(const FuzzOptions& opt) {
   }
 
   // Phase 1b: deterministic media-fault trials (recovery must survive a
-  // poisoned log line and attribute it, under every algo × domain).
+  // poisoned log line and attribute it, under every algo × domain). With
+  // --mirror, a fourth trial per configuration rots the primary slot
+  // header of a cleanly finished run — the mirror is then provably the
+  // only copy, so the repair counter must move across the phase.
+  uint64_t mirror_repairs = 0;
   for (ptm::Algo algo : algos) {
     for (nvm::Domain domain : domains) {
-      for (int i = 0; i < 3; i++) {
+      for (int i = 0; i < (opt.mirror ? 4 : 3); i++) {
         ScheduleSpec s;
         s.algo = algo;
         s.domain = domain;
         s.workload = 0;
-        s.wl_seed = 23 + static_cast<uint64_t>(i);
-        s.arm_events = 40 + 17 * static_cast<uint64_t>(i);
-        s.crash_seed = 500 + static_cast<uint64_t>(i);
         s.media_fault = true;
-        check(s);
+        s.mirror = opt.mirror;
+        if (i == 3) {
+          s.wl_seed = 29;
+          s.arm_events = 0;    // no crash: poison strikes a quiesced pool
+          s.crash_seed = 600;  // even → primary header line
+        } else {
+          s.wl_seed = 23 + static_cast<uint64_t>(i);
+          s.arm_events = 40 + 17 * static_cast<uint64_t>(i);
+          // Mirrored mid-run trials use odd seeds (→ first log line): a
+          // sealed record's mirror is fence-protected before the primary
+          // commit/in-place store, so the fallback always has a copy. The
+          // header line is only poisoned at the quiescent point above —
+          // poisoning it mid-header-update can destroy both copies at
+          // once, which is real (reported) loss, not a survivable fault.
+          s.crash_seed = opt.mirror ? 501 + 2 * static_cast<uint64_t>(i)
+                                    : 500 + static_cast<uint64_t>(i);
+        }
+        stats::RecoveryReport rep;
+        if (check(s, nullptr, &rep) && opt.mirror) {
+          mirror_repairs += rep.records_repaired;
+        }
       }
     }
+  }
+  if (opt.mirror && failures == 0 && mirror_repairs == 0) {
+    failures++;
+    std::fprintf(stderr,
+                 "FAIL: mirrored media trials never exercised a repair "
+                 "(records_repaired == 0 across phase 1b)\n");
   }
 
   // Phase 2: randomized exploration, fully replayable from --seed.
@@ -325,6 +389,7 @@ int run_crashfuzz(const FuzzOptions& opt) {
     s.algo = algos[rng.next_bounded(algos.size())];
     s.domain = domains[rng.next_bounded(domains.size())];
     s.workload = workloads[rng.next_bounded(workloads.size())];
+    s.mirror = opt.mirror;
     s.adversary = static_cast<nvm::WritebackAdversary>(rng.next_bounded(5));
     s.wl_seed = 1 + rng.next_bounded(1ull << 30);
     s.crash_seed = 1 + rng.next_bounded(1ull << 30);

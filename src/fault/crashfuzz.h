@@ -13,6 +13,10 @@
 #include "nvm/domain.h"
 #include "ptm/tx.h"
 
+namespace stats {
+struct RecoveryReport;
+}
+
 namespace fault {
 
 /// Complete, replayable description of one crash schedule.
@@ -26,6 +30,9 @@ struct ScheduleSpec {
   bool torn_stores = true;
   nvm::WritebackAdversary adversary = nvm::WritebackAdversary::kRandom;
   bool media_fault = false;  // poison a log line before recovery
+  bool mirror = false;       // run with SystemConfig::log_mirror on; media
+                             // trials then target a mirrored line (header or
+                             // first log line) and are gated on zero loss
 };
 
 /// The exact `crashfuzz --one ...` invocation that replays `spec`.
@@ -34,8 +41,11 @@ std::string repro_command(const ScheduleSpec& spec);
 /// Run one schedule. Returns true on pass; on failure `why` (if non-null)
 /// receives the counterexample. `events_out` (if non-null) receives the
 /// total persistence events the workload executed (for dry runs).
+/// `report_out` (if non-null) receives the recovery report of the
+/// schedule's crash recovery (untouched on crash-free early exits).
 bool run_schedule(const ScheduleSpec& spec, std::string* why,
-                  uint64_t* events_out = nullptr);
+                  uint64_t* events_out = nullptr,
+                  stats::RecoveryReport* report_out = nullptr);
 
 struct FuzzOptions {
   uint64_t seed = 1;        // base seed for the randomized phase
@@ -45,6 +55,9 @@ struct FuzzOptions {
   int only_workload = -1;   // -1 = all
   std::string only_algo;    // "R" / "U" ("" = both)
   std::string only_domain;  // "ADR" / "eADR" / "PDRAM" / "PDRAM-Lite" ("" = all)
+  bool mirror = false;      // run the whole suite with log mirroring on;
+                            // gates every schedule on records_lost == 0 and
+                            // the media trials on nonzero records_repaired
 };
 
 /// Deterministic sweeps + media-fault trials + randomized exploration.

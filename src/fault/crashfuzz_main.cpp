@@ -2,13 +2,15 @@
 //
 //   crashfuzz [--schedules N] [--sweep N] [--seed S] [--algo R|U]
 //             [--domain ADR|eADR|PDRAM|PDRAM-Lite] [--workload bank|churn]
-//             [--verbose]
+//             [--mirror 0|1] [--verbose]
 //       Deterministic event sweeps + media-fault trials + N randomized
 //       schedules across the selected matrix. Exit code = failure count.
+//       With --mirror 1 every schedule runs with log mirroring on, gated
+//       on zero lost records; media trials must demonstrate repairs.
 //
 //   crashfuzz --one --algo R --domain ADR --workload bank --wl-seed S
 //             --events K --crash-seed S [--adversary NAME] [--torn 0|1]
-//             [--media 0|1]
+//             [--media 0|1] [--mirror 0|1]
 //       Replay a single schedule (the repro line printed on failure).
 #include <cstdio>
 #include <cstdlib>
@@ -111,6 +113,9 @@ int main(int argc, char** argv) {
       spec.torn_stores = std::atoi(v) != 0;
     } else if (a == "--media" && (v = next())) {
       spec.media_fault = std::atoi(v) != 0;
+    } else if (a == "--mirror" && (v = next())) {
+      spec.mirror = std::atoi(v) != 0;
+      opt.mirror = spec.mirror;
     } else {
       return usage();
     }

@@ -31,6 +31,19 @@ enum class WritebackAdversary : uint8_t {
   kDataFirst = 4,  // unfenced data lines persist, unfenced log lines drop
 };
 
+/// What Runtime::recover() does when a log record (or a slot header) is
+/// damaged beyond repair — i.e. both the primary and, when mirroring is on,
+/// the mirror copy are unreadable.
+enum class RecoveryPolicy : uint8_t {
+  /// Quarantine the affected heap blocks, mark the pool degraded, surface
+  /// the loss in a stats::DegradedReport, and keep the runtime usable with
+  /// the quarantined region excluded. Default: matches the pre-mirror
+  /// screen-and-drop behaviour, but the loss is now reported, never silent.
+  kSalvage = 0,
+  /// Throw ptm::MediaLossError from recover() instead of continuing.
+  kFailStop = 1,
+};
+
 struct SystemConfig {
   Media media = Media::kOptane;   // backing media of the persistent heap
   Domain domain = Domain::kAdr;
@@ -77,6 +90,26 @@ struct SystemConfig {
 
   /// Which unfenced lines spontaneously persist at an ADR failure.
   WritebackAdversary writeback_adversary = WritebackAdversary::kRandom;
+
+  /// Mirror log metadata: every sealed log line (record lines, the slot
+  /// header's commit/seal words, segment-link headers) gets a second copy
+  /// on a distinct XPLine inside the same per-worker meta area, written in
+  /// the same flush/fence batches as the primary so the mirror is durable
+  /// no later than the primary seal. Recovery and the scrubber fall back
+  /// to the replica when the primary fails its CRC/media check and rewrite
+  /// the primary in place. Opt-in like the crash-sim features; halves the
+  /// in-slot log capacity.
+  bool log_mirror = false;
+
+  /// Background scrubber cadence in simulated nanoseconds; 0 disables the
+  /// scrub fiber. When nonzero the workload driver schedules one extra
+  /// DES fiber that walks sealed log lines and allocator metadata every
+  /// `scrub_interval_ns`, validating CRCs and repairing poisoned lines
+  /// from their mirrors (ptm::Scrubber).
+  uint64_t scrub_interval_ns = 0;
+
+  /// Behaviour when recovery meets damage it cannot repair.
+  RecoveryPolicy recovery_policy = RecoveryPolicy::kSalvage;
 
   CostModel cost;
 

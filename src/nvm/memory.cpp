@@ -460,11 +460,51 @@ bool Memory::media_faulted(const void* addr, size_t len) const {
 void Memory::clear_media_faults() {
   std::lock_guard<std::mutex> lk(track_mu_);
   poisoned_lines_.clear();
+  armed_faults_.clear();
 }
 
 size_t Memory::media_fault_count() const {
   std::lock_guard<std::mutex> lk(track_mu_);
   return poisoned_lines_.size();
+}
+
+void Memory::arm_media_fault_at(uint64_t line, uint64_t at_ns) {
+  assert(cfg_.crash_sim && "media-fault arming requires crash_sim=true");
+  std::lock_guard<std::mutex> lk(track_mu_);
+  armed_faults_.emplace_back(line, at_ns);
+}
+
+size_t Memory::activate_due_media_faults(uint64_t now_ns) {
+  std::lock_guard<std::mutex> lk(track_mu_);
+  size_t fired = 0;
+  for (size_t i = 0; i < armed_faults_.size();) {
+    if (armed_faults_[i].second <= now_ns) {
+      poisoned_lines_.push_back(armed_faults_[i].first);
+      armed_faults_[i] = armed_faults_.back();
+      armed_faults_.pop_back();
+      fired++;
+    } else {
+      i++;
+    }
+  }
+  return fired;
+}
+
+void Memory::repair_media_fault(uint64_t line) {
+  std::lock_guard<std::mutex> lk(track_mu_);
+  for (size_t i = 0; i < poisoned_lines_.size();) {
+    if (poisoned_lines_[i] == line) {
+      poisoned_lines_[i] = poisoned_lines_.back();
+      poisoned_lines_.pop_back();
+    } else {
+      i++;
+    }
+  }
+}
+
+size_t Memory::armed_media_fault_count() const {
+  std::lock_guard<std::mutex> lk(track_mu_);
+  return armed_faults_.size();
 }
 
 void Memory::drop_log_line_range() {

@@ -150,6 +150,24 @@ class Memory {
   void clear_media_faults();
   size_t media_fault_count() const;
 
+  /// Arm a latent media fault: `line` stays healthy until simulated time
+  /// `at_ns`, then becomes poisoned when activate_due_media_faults() is
+  /// next called with now_ns >= at_ns. Models wear-out that strikes
+  /// *after* the initial persist succeeded — the case a background scrub
+  /// exists to catch. crash_sim only, like inject_media_fault().
+  void arm_media_fault_at(uint64_t line, uint64_t at_ns);
+
+  /// Move every armed fault whose deadline has passed into the active
+  /// poison set. Called by the scrubber (and tests) with the current
+  /// simulated time; returns how many faults fired.
+  size_t activate_due_media_faults(uint64_t now_ns);
+
+  /// Un-poison one line after its content has been rewritten in place,
+  /// modelling the device remapping the bad block to a spare on write.
+  void repair_media_fault(uint64_t line);
+
+  size_t armed_media_fault_count() const;
+
   /// Mark the current live heap contents as fully persisted (used after
   /// population so crash tests measure only the workload's transactions).
   void checkpoint_all_persistent();
@@ -353,6 +371,7 @@ class Memory {
   // Crash-simulation state (guarded: real-thread tests may race on it).
   mutable std::mutex track_mu_;
   std::vector<uint64_t> poisoned_lines_;         // injected media faults
+  std::vector<std::pair<uint64_t, uint64_t>> armed_faults_;  // (line, at_ns)
   std::unique_ptr<unsigned char[]> image_;       // persisted bytes
   std::vector<uint64_t> dirty_bitmap_;           // 1 bit per line
   std::vector<uint64_t> dirty_list_;             // unique dirty line ids

@@ -77,6 +77,9 @@ void Tx::eager_write(uint64_t* waddr, uint64_t val) {
                      TxSlotHeader::make(epoch_, TxSlotHeader::kActive), nvm::Space::kLog);
       active_persisted_ = true;
     }
+    // Mirror header joins the same per-write batch (mirror record was
+    // written by append_log); one fence still covers everything.
+    sync_mirror_header();
     persist_log_range(entry_idx, 1);
     persist_slot_header();
     mem.sfence(*ctx_, c_);
@@ -89,6 +92,13 @@ void Tx::eager_write(uint64_t* waddr, uint64_t val) {
                            "in-place store ahead of its undo record");
   psan_check_header_persisted(analysis::DiagKind::kMisorderedPersist,
                               "in-place store ahead of the ACTIVE slot header");
+  // Ordering point (mirror rule): the replica undo record and header must
+  // be durable too before the in-place store — they are the fallback when
+  // the primary line is damaged.
+  psan_check_mirror_log_persisted(entry_idx, 1, analysis::DiagKind::kMisorderedPersist,
+                                  "in-place store ahead of its mirrored undo record");
+  psan_check_mirror_header_persisted(analysis::DiagKind::kMisorderedPersist,
+                                     "in-place store ahead of the mirrored ACTIVE header");
 
   // Speculative in-place store (protected by the orec lock).
   mem.store_word(*ctx_, c_, waddr, val, nvm::Space::kData);
@@ -119,7 +129,8 @@ void Tx::eager_commit() {
     // free-only transactions have no in-place writes and skip the batch
     // entirely — flushing nothing and fencing nothing (psan's
     // redundant-fence lint flagged the unconditional sfence here).
-    if (!dirty_.lines().empty()) {
+    const bool fence_batch = !dirty_.lines().empty();
+    if (fence_batch) {
       for (const uint64_t line : dirty_.lines()) {
         mem.clwb(*ctx_, c_, pool.base() + line * nvm::Memory::kLineBytes);
       }
@@ -132,6 +143,24 @@ void Tx::eager_commit() {
                                "in-place write unpersisted at commit-record seal");
     psan_check_header_persisted(analysis::DiagKind::kMissingFlush,
                                 "slot header unpersisted at commit-record seal");
+    if (slot_.mirrored) {
+      // Mirror commit record ahead of the primary seal, in its own
+      // fence-delimited batch. The mirror's COMMITTED image is a durable
+      // commit mark in its own right (recovery trusts it when the primary
+      // header is damaged), so it must not be *flushable* before the
+      // in-place writes' fence above — a spontaneous writeback could
+      // otherwise publish the commit over data that never persisted. The
+      // fence below then makes the replica durable before the primary seal.
+      seal_and_mirror_header(pool, *ctx_, c_, slot_,
+                             TxSlotHeader::make(epoch_, TxSlotHeader::kCommitted));
+      seal_primary_header_crc(pool, *ctx_, c_, slot_);
+      persist_slot_header();
+      mem.sfence(*ctx_, c_);
+      // Ordering point (mirror rule): the replica header must be durable
+      // before the primary commit seal counts as committed.
+      psan_check_mirror_header_persisted(analysis::DiagKind::kMissingFlush,
+                                         "mirror header unpersisted at commit-record seal");
+    }
     set_status(TxSlotHeader::kCommitted, /*fence=*/true);
   }
   // ---- durable commit point ----

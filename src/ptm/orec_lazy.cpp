@@ -43,12 +43,19 @@ void Tx::lazy_write(uint64_t* waddr, uint64_t val) {
   const int64_t idx = windex_.lookup(off);
   if (idx >= 0) {
     // Update in place in the log (latest value wins at write-back).
+    nvm::Memory& mem = rt_->pool().mem();
+    if (slot_.mirrored) {
+      LogEntry* m = slot_.mirror_entry_at(static_cast<size_t>(idx));
+      mem.store_word(*ctx_, c_, &m->val, val, nvm::Space::kLog);
+      if (crc_logs_) {
+        mem.store_word(*ctx_, c_, &m->off, LogEntry::seal(m->off, val), nvm::Space::kLog);
+      }
+    }
     LogEntry* e = slot_.entry_at(static_cast<size_t>(idx));
-    rt_->pool().mem().store_word(*ctx_, c_, &e->val, val, nvm::Space::kLog);
+    mem.store_word(*ctx_, c_, &e->val, val, nvm::Space::kLog);
     if (crc_logs_) {
       // The record checksum covers the value; reseal the off word.
-      rt_->pool().mem().store_word(*ctx_, c_, &e->off, LogEntry::seal(e->off, val),
-                                   nvm::Space::kLog);
+      mem.store_word(*ctx_, c_, &e->off, LogEntry::seal(e->off, val), nvm::Space::kLog);
     }
     return;
   }
@@ -129,6 +136,11 @@ void Tx::lazy_commit() {
       mem.store_word(*ctx_, c_, &slot_.header->pad[SlotLayout::kLogCrcPad], lc,
                      nvm::Space::kLog);
     }
+    if (slot_.mirrored) {
+      // Reseal the primary header CRC over the new counts now; the mirror
+      // COMMITTED image gets its own batch *after* the records' fence.
+      seal_primary_header_crc(pool, *ctx_, c_, slot_);
+    }
     persist_log_range(0, n_log_);
     persist_slot_header();
     mem.sfence(*ctx_, c_);
@@ -140,6 +152,22 @@ void Tx::lazy_commit() {
                              "redo record unpersisted at commit-record seal");
     psan_check_header_persisted(analysis::DiagKind::kMissingFlush,
                                 "slot header unpersisted at commit-record seal");
+    if (slot_.mirrored) {
+      // Mirror commit record ahead of the primary seal, in its own
+      // fence-delimited batch. The mirror's COMMITTED image is a durable
+      // commit mark in its own right (recovery trusts it when the primary
+      // header is damaged), so it must not be *flushable* before the log
+      // records' fence above — a spontaneous writeback could otherwise
+      // publish the commit over records that never persisted. The fence
+      // below then makes the replica durable before the primary seal.
+      seal_and_mirror_header(pool, *ctx_, c_, slot_,
+                             TxSlotHeader::make(epoch_, TxSlotHeader::kCommitted));
+      mem.sfence(*ctx_, c_);
+      psan_check_mirror_log_persisted(0, n_log_, analysis::DiagKind::kMissingFlush,
+                                      "mirror redo record unpersisted at commit-record seal");
+      psan_check_mirror_header_persisted(analysis::DiagKind::kMissingFlush,
+                                         "mirror header unpersisted at commit-record seal");
+    }
     set_status(TxSlotHeader::kCommitted, /*fence=*/true);
     // ---- durable commit point ----
 

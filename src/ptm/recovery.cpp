@@ -18,23 +18,44 @@
 // or the log slots themselves, which a corrupt record could otherwise
 // scribble over), and on crash-sim configurations each record's CRC is
 // verified (torn records are *detected*, not inferred) and poisoned
-// lines reported by the media-fault model are refused. Everything
-// recovery applied or discarded is tallied in the returned
-// stats::RecoveryReport.
+// lines reported by the media-fault model are refused.
+//
+// Repair-and-survive (SystemConfig::log_mirror): every sealed log line —
+// slot headers, alloc-log words, redo/undo records, segment headers — has
+// a same-sized replica on a distinct line, written *before* its primary
+// inside the same flush+fence batch. When a primary copy fails its media
+// or CRC screen, recovery falls back to the replica, rewrites the primary
+// in place (durably, then clears the media fault — crash-idempotent), and
+// counts it in records_repaired. Damage with no usable copy left is
+// records_lost; under RecoveryPolicy::kSalvage the affected heap lines
+// are quarantined in the allocator and the loss surfaced through
+// Runtime::degraded(), under kFailStop recover() throws MediaLossError
+// after the salvage pass completes. Everything recovery applied,
+// repaired, or refused is tallied in the returned stats::RecoveryReport.
 #include <algorithm>
+#include <vector>
 
 #include "ptm/runtime.h"
 #include "util/crc32.h"
 
 namespace ptm {
+namespace {
+
+/// Why a record (or header) copy was rejected, in screening order: a
+/// poisoned line masquerades as anything, so media is attributed first.
+enum class Verdict : uint8_t { kOk, kStale, kTorn, kMedia, kInvalid };
+
+}  // namespace
 
 stats::RecoveryReport Runtime::recover(sim::ExecContext& ctx) {
   // All speculation state is volatile and died with the crash.
   orecs_.reset();
+  degraded_ = stats::DegradedReport{};
 
   nvm::Memory& mem = pool_.mem();
   stats::TxCounters* c = nullptr;  // recovery is not part of measured runs
   stats::RecoveryReport rep;
+  rep.mirror_enabled = pool_.config().log_mirror;
 
   // CRC sealing and media-fault injection only exist on crash-sim
   // configurations; on performance configurations the crc fields are zero
@@ -60,20 +81,93 @@ stats::RecoveryReport Runtime::recover(sim::ExecContext& ctx) {
   };
 
   for (int w = 0; w < pool_.config().max_workers; w++) {
-    SlotLayout slot = SlotLayout::carve(pool_.worker_meta(w), pool_.worker_meta_bytes());
+    SlotLayout slot = SlotLayout::carve(pool_.worker_meta(w), pool_.worker_meta_bytes(),
+                                        pool_.config().log_mirror);
     rep.slots_scanned++;
 
-    if (checked && mem.media_faulted(slot.header, sizeof(TxSlotHeader))) {
-      // The header line is gone: state, counts and epoch are all
-      // untrustworthy, so neither replay nor rollback is possible. Count
-      // the loss and fall through to the quiesce below, which rebuilds the
-      // header as an empty IDLE slot (epoch continuity does not matter —
-      // any surviving records become stale debris for the next epoch).
-      rep.records_media_faulted++;
+    // Per-slot damage bookkeeping. Media faults repaired at record
+    // granularity are cleared only after every record sharing the line has
+    // been screened (clearing early would let the line's remaining
+    // scrambled records dodge the media screen and mis-classify as stale).
+    bool slot_lost = false;
+    std::vector<uint64_t> repaired_lines;
+
+    auto bucket = [&](Verdict v) {
+      switch (v) {
+        case Verdict::kMedia: rep.records_media_faulted++; break;
+        case Verdict::kTorn: rep.records_torn++; break;
+        case Verdict::kInvalid: rep.records_invalid++; break;
+        default: break;
+      }
+    };
+
+    // ---- header health -------------------------------------------------
+    //
+    // The header line carries state, counts and epoch: with it gone,
+    // neither replay nor rollback is possible. A mirrored slot keeps a
+    // full sealed replica (own CRC) one line over; the replica was made
+    // durable before every primary seal it covers, so whenever the
+    // primary fails its screen an intact replica is authoritative.
+    bool header_lost = false;
+    if (checked) {
+      const bool p_media = mem.media_faulted(slot.header, sizeof(TxSlotHeader));
+      const bool p_torn = !p_media && slot.mirrored && !slot_header_crc_ok(*slot.header);
+      if (p_media || p_torn) {
+        bool fixed = false;
+        if (slot.mirrored && !mem.media_faulted(slot.mirror_header, sizeof(TxSlotHeader)) &&
+            slot_header_crc_ok(*slot.mirror_header)) {
+          mem.store_bytes(ctx, c, slot.header, slot.mirror_header, sizeof(TxSlotHeader),
+                          nvm::Space::kLog);
+          mem.clwb(ctx, c, slot.header);
+          mem.sfence(ctx, c);
+          mem.repair_media_fault(mem.line_of(slot.header));
+          rep.records_damaged++;
+          rep.records_repaired++;
+          fixed = true;
+        }
+        if (!fixed && p_media) {
+          // No usable copy of the header: the slot's state is unknowable.
+          header_lost = true;
+          rep.records_media_faulted++;
+          rep.records_damaged++;
+          rep.records_lost++;
+          slot_lost = true;
+        }
+        // !fixed && p_torn (no media): both copies unsealed. That is an
+        // in-flight image from before mirroring sealed this slot (or a
+        // never-used fresh slot, whose all-zero header fails the CRC by
+        // design) — the primary is exactly as trustworthy as it was
+        // pre-mirror, so proceed with it.
+      }
+    }
+
+    if (header_lost) {
+      if (slot.mirrored) {
+        // Rebuild both copies from zero so no scrambled residue (chain
+        // links, counts) survives into the resealed header, then retire
+        // the media faults: the lines now hold known-good bytes.
+        static const TxSlotHeader kZeroHdr{};
+        mem.store_bytes(ctx, c, slot.header, &kZeroHdr, sizeof(TxSlotHeader), nvm::Space::kLog);
+        mem.store_bytes(ctx, c, slot.mirror_header, &kZeroHdr, sizeof(TxSlotHeader),
+                        nvm::Space::kLog);
+        mem.clwb(ctx, c, slot.header);
+        mem.clwb(ctx, c, slot.mirror_header);
+        mem.sfence(ctx, c);
+        mem.repair_media_fault(mem.line_of(slot.header));
+        mem.repair_media_fault(mem.line_of(slot.mirror_header));
+      }
+      // Fall through to the quiesce below, which rebuilds the header as an
+      // empty IDLE slot (epoch continuity does not matter — any surviving
+      // records become stale debris for the next epoch).
     } else {
       // Rebuild the overflow-segment chain from its persisted links — the
-      // crashed transaction's log may extend past the in-slot array.
-      rep.segment_links_truncated += slot.attach_segments(pool_);
+      // crashed transaction's log may extend past the in-slot array. On a
+      // mirrored slot a damaged segment *header* is repaired in place from
+      // its replica instead of truncating the chain.
+      uint64_t seg_repairs = 0;
+      rep.segment_links_truncated += slot.attach_segments(pool_, &ctx, &seg_repairs);
+      rep.records_damaged += seg_repairs;
+      rep.records_repaired += seg_repairs;
       const uint64_t status = slot.header->status;
       const uint64_t state = TxSlotHeader::state_of(status);
       const uint64_t epoch = TxSlotHeader::epoch_of(status);
@@ -84,41 +178,131 @@ stats::RecoveryReport Runtime::recover(sim::ExecContext& ctx) {
           std::min<uint64_t>(slot.header->alloc_count, slot.alloc_log_cap);
       const auto algo = static_cast<Algo>(slot.header->algo);
 
+      auto classify = [&](const LogEntry* e) -> Verdict {
+        if (checked && mem.media_faulted(e, sizeof(LogEntry))) return Verdict::kMedia;
+        if (!LogEntry::tag_matches(e->off, epoch)) return Verdict::kStale;
+        if (checked && !LogEntry::crc_ok(e->off, e->val)) return Verdict::kTorn;
+        if (!valid_data_off(LogEntry::offset_of(e->off))) return Verdict::kInvalid;
+        return Verdict::kOk;
+      };
+
       // Validate one write-log record; returns nullptr when it must not be
-      // applied (each rejection lands in exactly one report bucket).
-      auto screen_entry = [&](uint64_t i) -> const LogEntry* {
-        const LogEntry* e = slot.entry_at(i);
-        if (checked && mem.media_faulted(e, sizeof(LogEntry))) {
-          // Poisoned bytes could masquerade as anything — attribute to the
-          // media before looking at the content.
-          rep.records_media_faulted++;
-          return nullptr;
-        }
-        if (!LogEntry::tag_matches(e->off, epoch)) {
+      // applied. A primary that fails any non-stale screen falls back to
+      // its mirror copy: an intact mirror both supplies the record and is
+      // copied over the primary (durably, then the media fault is
+      // retired), so the next recovery sees a healthy primary.
+      //
+      // Loss semantics per `committed`: in a COMMITTED slot every sealed
+      // record is durable state, so any non-stale rejection with no usable
+      // copy is a loss; in an ACTIVE undo slot only media damage is — a
+      // torn record was never fence-ordered, which also means its in-place
+      // store never executed, so *skipping* it is the correct rollback.
+      auto screen_entry = [&](uint64_t i, bool committed) -> const LogEntry* {
+        LogEntry* e = slot.entry_at(i);
+        const Verdict pv = classify(e);
+        if (pv == Verdict::kOk) return e;
+        if (pv == Verdict::kStale) {
           rep.records_stale++;  // ordinary partial-persistence debris
           return nullptr;
         }
-        if (checked && !LogEntry::crc_ok(e->off, e->val)) {
-          rep.records_torn++;  // sub-line tearing caught red-handed
-          return nullptr;
+        rep.records_damaged++;
+        bucket(pv);
+        if (slot.mirrored) {
+          const LogEntry* m = slot.mirror_entry_at(i);
+          if (classify(m) == Verdict::kOk) {
+            mem.store_word(ctx, c, &e->off, m->off, nvm::Space::kLog);
+            mem.store_word(ctx, c, &e->val, m->val, nvm::Space::kLog);
+            mem.clwb(ctx, c, e);
+            mem.sfence(ctx, c);
+            if (pv == Verdict::kMedia) repaired_lines.push_back(mem.line_of(e));
+            rep.records_repaired++;
+            return e;
+          }
         }
-        if (!valid_data_off(LogEntry::offset_of(e->off))) {
-          rep.records_invalid++;
-          return nullptr;
+        // No usable copy left.
+        const bool lost = slot.mirrored ? (committed || pv == Verdict::kMedia)
+                                        : pv == Verdict::kMedia;
+        if (lost) {
+          rep.records_lost++;
+          degraded_.lost_records++;
+          slot_lost = true;
+          // Best-effort quarantine of the record's home line, from
+          // whichever copy still names a plausible heap target: the word
+          // there may hold a partial write-back (committed redo) or an
+          // un-rolled-back speculative store (active undo).
+          uint64_t tgt = 0;
+          if (LogEntry::tag_matches(e->off, epoch) &&
+              valid_heap_off(LogEntry::offset_of(e->off))) {
+            tgt = LogEntry::offset_of(e->off);
+          } else if (slot.mirrored) {
+            const LogEntry* m = slot.mirror_entry_at(i);
+            if (LogEntry::tag_matches(m->off, epoch) &&
+                valid_heap_off(LogEntry::offset_of(m->off))) {
+              tgt = LogEntry::offset_of(m->off);
+            }
+          }
+          if (tgt != 0) alloc_.quarantine(pool_.at(tgt), 8);
         }
-        return e;
+        return nullptr;
+      };
+
+      // Validate one alloc-log word; returns 0 when it must not be
+      // applied (a sealed word is never 0: its tag bits are nonzero).
+      // Same mirror fallback as write records. A word with no usable copy
+      // is a bounded storage leak (a cancel or free that cannot run), not
+      // data loss: committed data never depends on an alloc-log word.
+      auto screen_alloc = [&](uint64_t i) -> uint64_t {
+        uint64_t* ap = &slot.alloc_log[i];
+        auto cls = [&](uint64_t word, const uint64_t* addr) -> Verdict {
+          if (checked && mem.media_faulted(addr, 8)) return Verdict::kMedia;
+          if (!AllocLogOp::tag_matches(word, epoch)) return Verdict::kStale;
+          if (checked && !AllocLogOp::crc_ok(word)) return Verdict::kTorn;
+          return Verdict::kOk;
+        };
+        const Verdict pv = cls(*ap, ap);
+        if (pv == Verdict::kOk) return *ap;
+        if (pv == Verdict::kStale) {
+          rep.records_stale++;
+          return 0;
+        }
+        rep.records_damaged++;
+        bucket(pv);
+        if (slot.mirrored) {
+          const uint64_t* mp = &slot.mirror_alloc_log[i];
+          if (cls(*mp, mp) == Verdict::kOk) {
+            mem.store_word(ctx, c, ap, *mp, nvm::Space::kLog);
+            mem.clwb(ctx, c, ap);
+            mem.sfence(ctx, c);
+            if (pv == Verdict::kMedia) repaired_lines.push_back(mem.line_of(ap));
+            rep.records_repaired++;
+            return *ap;
+          }
+        }
+        return 0;
       };
 
       if (state == TxSlotHeader::kCommitted) {
         rep.slots_committed++;
         if (algo == Algo::kOrecLazy) {
+          // Replay the redo log forward; write-back may have been partial.
+          for (uint64_t i = 0; i < n_log; i++) {
+            const LogEntry* e = screen_entry(i, /*committed=*/true);
+            if (e == nullptr) continue;
+            auto* home = static_cast<uint64_t*>(pool_.at(LogEntry::offset_of(e->off)));
+            mem.store_word(ctx, c, home, e->val, nvm::Space::kData);
+            mem.clwb(ctx, c, home);
+            rep.records_replayed++;
+          }
+          mem.sfence(ctx, c);
           if (checked && n_log > 0) {
             // Cross-check the whole committed record set against the
-            // checksum the committer sealed into the header. A mismatch
-            // means the log does not match what was committed (media
-            // damage, truncated chain): per-record screening still
-            // replays every provably-good record, but the damage is
-            // reported rather than silently absorbed.
+            // checksum the committer sealed into the header — *after*
+            // screening, so mirror-repaired records count as intact. A
+            // mismatch now means the log no longer matches what was
+            // committed and no copy could put it back (media damage,
+            // truncated chain): per-record screening still replayed every
+            // provably-good record, but the damage is reported rather
+            // than silently absorbed.
             uint32_t lc = 0;
             for (uint64_t i = 0; i < n_log; i++) {
               const LogEntry* e = slot.entry_at(i);
@@ -128,32 +312,11 @@ stats::RecoveryReport Runtime::recover(sim::ExecContext& ctx) {
               rep.log_crc_mismatches++;
             }
           }
-          // Replay the redo log forward; write-back may have been partial.
-          for (uint64_t i = 0; i < n_log; i++) {
-            const LogEntry* e = screen_entry(i);
-            if (e == nullptr) continue;
-            auto* home = static_cast<uint64_t*>(pool_.at(LogEntry::offset_of(e->off)));
-            mem.store_word(ctx, c, home, e->val, nvm::Space::kData);
-            mem.clwb(ctx, c, home);
-            rep.records_replayed++;
-          }
-          mem.sfence(ctx, c);
         }
         // Committed transactions' deferred frees must take effect.
         for (uint64_t i = 0; i < n_alloc; i++) {
-          const uint64_t word = slot.alloc_log[i];
-          if (checked && mem.media_faulted(&slot.alloc_log[i], 8)) {
-            rep.records_media_faulted++;
-            continue;
-          }
-          if (!AllocLogOp::tag_matches(word, epoch)) {
-            rep.records_stale++;
-            continue;
-          }
-          if (checked && !AllocLogOp::crc_ok(word)) {
-            rep.records_torn++;
-            continue;
-          }
+          const uint64_t word = screen_alloc(i);
+          if (word == 0) continue;
           if (AllocLogOp::op_of(word) == AllocLogOp::kFree) {
             if (!valid_heap_off(AllocLogOp::off_of(word))) {
               rep.records_invalid++;
@@ -172,7 +335,7 @@ stats::RecoveryReport Runtime::recover(sim::ExecContext& ctx) {
           // means its in-place store never executed, so *skipping* it is
           // the correct rollback, not a loss.
           for (uint64_t i = n_log; i-- > 0;) {
-            const LogEntry* e = screen_entry(i);
+            const LogEntry* e = screen_entry(i, /*committed=*/false);
             if (e == nullptr) continue;
             auto* home = static_cast<uint64_t*>(pool_.at(LogEntry::offset_of(e->off)));
             mem.store_word(ctx, c, home, e->val, nvm::Space::kData);
@@ -183,19 +346,8 @@ stats::RecoveryReport Runtime::recover(sim::ExecContext& ctx) {
         }
         // Cancel speculative allocations (idempotent membership check).
         for (uint64_t i = 0; i < n_alloc; i++) {
-          const uint64_t word = slot.alloc_log[i];
-          if (checked && mem.media_faulted(&slot.alloc_log[i], 8)) {
-            rep.records_media_faulted++;
-            continue;
-          }
-          if (!AllocLogOp::tag_matches(word, epoch)) {
-            rep.records_stale++;
-            continue;
-          }
-          if (checked && !AllocLogOp::crc_ok(word)) {
-            rep.records_torn++;
-            continue;
-          }
+          const uint64_t word = screen_alloc(i);
+          if (word == 0) continue;
           if (AllocLogOp::op_of(word) == AllocLogOp::kAlloc) {
             if (!valid_heap_off(AllocLogOp::off_of(word))) {
               rep.records_invalid++;
@@ -207,6 +359,11 @@ stats::RecoveryReport Runtime::recover(sim::ExecContext& ctx) {
         }
       }
     }
+
+    // Every record sharing a repaired line has been screened by now; the
+    // line's bytes are fully reconstructed, so the media fault retires.
+    for (const uint64_t line : repaired_lines) mem.repair_media_fault(line);
+    if (slot_lost) degraded_.lost_txs++;
 
     // Quiesce the slot for the next epoch (skipping tag 0 — reserved for
     // zeroed log memory — with a durable full-log wipe at the wrap, same
@@ -221,6 +378,11 @@ stats::RecoveryReport Runtime::recover(sim::ExecContext& ctx) {
     mem.store_word(ctx, c, &slot.header->alloc_count, 0, nvm::Space::kLog);
     mem.store_word(ctx, c, &slot.header->status,
                    TxSlotHeader::make(next_epoch, TxSlotHeader::kIdle), nvm::Space::kLog);
+    // Reseal both copies over the quiesced image so the next recovery's
+    // header CRC screen passes.
+    seal_and_mirror_header(pool_, ctx, c, slot,
+                           TxSlotHeader::make(next_epoch, TxSlotHeader::kIdle));
+    seal_primary_header_crc(pool_, ctx, c, slot);
     mem.clwb(ctx, c, slot.header);
     mem.sfence(ctx, c);
 
@@ -232,6 +394,17 @@ stats::RecoveryReport Runtime::recover(sim::ExecContext& ctx) {
     txs_[static_cast<size_t>(w)]->n_log_ = 0;
     txs_[static_cast<size_t>(w)]->n_alloc_log_ = 0;
     txs_[static_cast<size_t>(w)]->slot_.attach_segments(pool_);
+  }
+
+  degraded_.degraded = degraded_.lost_records > 0 || degraded_.lost_txs > 0;
+  degraded_.quarantined_bytes = alloc_.quarantined_bytes();
+  degraded_.quarantined_blocks = alloc_.quarantined_blocks();
+  if (rep.records_lost > 0 &&
+      pool_.config().recovery_policy == nvm::RecoveryPolicy::kFailStop) {
+    // Fail loud, but only after the full salvage pass: the pool is left in
+    // the same repaired/quarantined state kSalvage would leave, so the
+    // caller can still read Runtime::degraded() for the post-mortem.
+    throw MediaLossError("recovery: committed state lost with no usable copy");
   }
   return rep;
 }

@@ -23,21 +23,35 @@ bool AllocLogOp::crc_ok(uint64_t w) {
          static_cast<uint8_t>(w >> LogEntry::kCrcShift);
 }
 
-SlotLayout SlotLayout::carve(char* slot_base, size_t slot_bytes) {
+SlotLayout SlotLayout::carve(char* slot_base, size_t slot_bytes, bool mirror) {
   constexpr size_t kAllocLogCap = 256;
   SlotLayout l;
+  l.mirrored = mirror;
   l.header = reinterpret_cast<TxSlotHeader*>(slot_base);
-  l.alloc_log = reinterpret_cast<uint64_t*>(slot_base + sizeof(TxSlotHeader));
   l.alloc_log_cap = kAllocLogCap;
-  char* log_start = slot_base + sizeof(TxSlotHeader) + kAllocLogCap * 8;
-  l.log = reinterpret_cast<LogEntry*>(log_start);
-  assert(slot_bytes > sizeof(TxSlotHeader) + kAllocLogCap * 8);
-  l.log_capacity = (slot_bytes - sizeof(TxSlotHeader) - kAllocLogCap * 8) / sizeof(LogEntry);
+  // Every mirrored region is a same-sized replica placed right after its
+  // primary, so primary and mirror always occupy distinct cache lines:
+  // [header | mirror header | alloc log | mirror alloc log | log | mirror log]
+  const size_t copies = mirror ? 2 : 1;
+  char* p = slot_base + copies * sizeof(TxSlotHeader);
+  if (mirror) l.mirror_header = reinterpret_cast<TxSlotHeader*>(slot_base + sizeof(TxSlotHeader));
+  l.alloc_log = reinterpret_cast<uint64_t*>(p);
+  p += kAllocLogCap * 8;
+  if (mirror) {
+    l.mirror_alloc_log = reinterpret_cast<uint64_t*>(p);
+    p += kAllocLogCap * 8;
+  }
+  const size_t fixed = copies * (sizeof(TxSlotHeader) + kAllocLogCap * 8);
+  assert(slot_bytes > fixed);
+  l.log_capacity = (slot_bytes - fixed) / (copies * sizeof(LogEntry));
+  l.log = reinterpret_cast<LogEntry*>(p);
+  if (mirror) l.mirror_log = l.log + l.log_capacity;
   l.total_capacity = l.log_capacity;
   return l;
 }
 
-size_t SlotLayout::attach_segments(nvm::Pool& pool) {
+size_t SlotLayout::attach_segments(nvm::Pool& pool, sim::ExecContext* ctx,
+                                   uint64_t* repaired) {
   segs.clear();
   seg_caps.clear();
   total_capacity = log_capacity;
@@ -50,6 +64,7 @@ size_t SlotLayout::attach_segments(nvm::Pool& pool) {
   uint64_t link = std::atomic_ref<const uint64_t>(header->pad[kChainPad])
                       .load(std::memory_order_acquire);
   const size_t pool_size = pool.size();
+  nvm::Memory& mem = pool.mem();
   while (link != 0) {
     const uint64_t off = SegPtr::off_of(link);
     // A link that never fully persisted (or pre-format garbage) truncates
@@ -57,16 +72,76 @@ size_t SlotLayout::attach_segments(nvm::Pool& pool) {
     // log_count can only cover a segment whose link install committed.
     if (off < sizeof(nvm::PoolHeader) || off + sizeof(LogSegment) > pool_size) return 1;
     auto* seg = static_cast<LogSegment*>(pool.at(off));
-    if (seg->magic != LogSegment::kMagic) return 1;
-    const uint64_t cap = seg->capacity;
-    if (cap == 0 || off + sizeof(LogSegment) + cap * sizeof(LogEntry) > pool_size) return 1;
+    auto seg_ok = [&](const LogSegment* s, uint64_t base_off) {
+      if (mem.media_faulted(s, sizeof(LogSegment))) return false;
+      if (s->magic != LogSegment::kMagic) return false;
+      const uint64_t cap = s->capacity;
+      const uint64_t copies = (s->flags & LogSegment::kFlagMirrored) ? 2 : 1;
+      if (cap == 0 ||
+          base_off + copies * (sizeof(LogSegment) + cap * sizeof(LogEntry)) > pool_size) {
+        return false;
+      }
+      return true;
+    };
+    if (!seg_ok(seg, off)) {
+      // A mirrored slot keeps a replica of every segment header on the
+      // following line; when the primary header is unreadable but the
+      // replica validates, rewrite the primary in place and continue the
+      // walk instead of truncating.
+      if (!mirrored || ctx == nullptr || off + 2 * sizeof(LogSegment) > pool_size) return 1;
+      const LogSegment* rep = seg + 1;
+      if (!(rep->flags & LogSegment::kFlagMirrored) || !seg_ok(rep, off)) return 1;
+      mem.store_bytes(*ctx, nullptr, seg, rep, sizeof(LogSegment), nvm::Space::kLog);
+      mem.clwb(*ctx, nullptr, seg);
+      mem.sfence(*ctx, nullptr);
+      mem.repair_media_fault(mem.line_of(seg));
+      if (repaired != nullptr) (*repaired)++;
+    }
     segs.push_back(seg);
-    seg_caps.push_back(static_cast<size_t>(cap));
-    total_capacity += static_cast<size_t>(cap);
+    seg_caps.push_back(static_cast<size_t>(seg->capacity));
+    total_capacity += static_cast<size_t>(seg->capacity);
     if (segs.size() > 64) return 1;  // cycle guard (corrupt chain)
     link = std::atomic_ref<const uint64_t>(seg->next).load(std::memory_order_acquire);
   }
   return 0;
+}
+
+uint64_t slot_header_crc(const TxSlotHeader& h) {
+  uint64_t words[sizeof(TxSlotHeader) / 8];
+  std::memcpy(words, &h, sizeof(words));
+  words[4 + SlotLayout::kHdrCrcPad] = 0;  // status..algo are words 0..3
+  uint32_t crc = 0;
+  for (uint64_t w : words) crc = util::crc32c_u64(w, crc);
+  return crc;
+}
+
+bool slot_header_crc_ok(const TxSlotHeader& h) {
+  return h.pad[SlotLayout::kHdrCrcPad] == slot_header_crc(h);
+}
+
+void seal_and_mirror_header(nvm::Pool& pool, sim::ExecContext& ctx,
+                            stats::TxCounters* c, SlotLayout& slot,
+                            uint64_t mirror_status) {
+  if (!slot.mirrored) return;
+  nvm::Memory& mem = pool.mem();
+  // A full sealed image carrying `mirror_status`, on its own line, flushed
+  // here so it rides whatever flush/fence batch the caller is building.
+  TxSlotHeader img;
+  std::memcpy(&img, slot.header, sizeof(img));
+  img.status = mirror_status;
+  img.pad[SlotLayout::kHdrCrcPad] = slot_header_crc(img);
+  mem.store_bytes(ctx, c, slot.mirror_header, &img, sizeof(img), nvm::Space::kLog);
+  mem.clwb(ctx, c, slot.mirror_header);
+}
+
+void seal_primary_header_crc(nvm::Pool& pool, sim::ExecContext& ctx,
+                             stats::TxCounters* c, SlotLayout& slot) {
+  if (!slot.mirrored) return;
+  TxSlotHeader img;
+  std::memcpy(&img, slot.header, sizeof(img));
+  img.pad[SlotLayout::kHdrCrcPad] = slot_header_crc(img);
+  pool.mem().store_word(ctx, c, &slot.header->pad[SlotLayout::kHdrCrcPad],
+                        img.pad[SlotLayout::kHdrCrcPad], nvm::Space::kLog);
 }
 
 void zero_slot_logs(nvm::Pool& pool, sim::ExecContext& ctx, stats::TxCounters* c,
@@ -90,8 +165,15 @@ void zero_slot_logs(nvm::Pool& pool, sim::ExecContext& ctx, stats::TxCounters* c
   };
   wipe(slot.alloc_log, slot.alloc_log_cap * sizeof(uint64_t));
   wipe(slot.log, slot.log_capacity * sizeof(LogEntry));
+  if (slot.mirrored) {
+    wipe(slot.mirror_alloc_log, slot.alloc_log_cap * sizeof(uint64_t));
+    wipe(slot.mirror_log, slot.log_capacity * sizeof(LogEntry));
+  }
   for (size_t k = 0; k < slot.segs.size(); k++) {
     wipe(slot.segs[k]->entries(), slot.seg_caps[k] * sizeof(LogEntry));
+    if (slot.segs[k]->mirrored()) {
+      wipe(slot.segs[k]->mirror_entries(), slot.seg_caps[k] * sizeof(LogEntry));
+    }
   }
   mem.sfence(ctx, c);
 }

@@ -100,7 +100,9 @@ struct LogEntry {
 /// pad[0] (SlotLayout::kChainPad) holds the head of the overflow-segment
 /// chain as a SegPtr; pad[1] (SlotLayout::kLogCrcPad) holds a whole-log
 /// CRC32C written by the lazy commit on crash-sim configurations (zero
-/// otherwise); the remaining pad words are reserved.
+/// otherwise); pad[2] (SlotLayout::kHdrCrcPad) holds a whole-header
+/// CRC32C maintained on every sealed header update when log mirroring is
+/// on (zero otherwise); the remaining pad word is reserved.
 struct TxSlotHeader {
   static constexpr uint64_t kIdle = 0;
   static constexpr uint64_t kActive = 1;
@@ -161,14 +163,28 @@ struct SegPtr {
 struct LogSegment {
   static constexpr uint64_t kMagic = 0x50544d4c4f475347ull;  // "PTMLOGSG"
 
+  /// flags bit 0: the segment carries mirror copies — a second header line
+  /// right after this one and a second record array right after the
+  /// primary one. Fresh bump memory is zero-filled, so pre-mirror segments
+  /// read back as flags == 0 and keep the compact layout.
+  static constexpr uint64_t kFlagMirrored = 1ull;
+
   uint64_t magic;
   uint64_t next;      // SegPtr to the next segment; 0 = end of chain
   uint64_t capacity;  // LogEntry records in this segment
-  uint64_t pad[5];
+  uint64_t flags;     // kFlagMirrored when mirrored layout
+  uint64_t pad[4];
+
+  bool mirrored() const { return (flags & kFlagMirrored) != 0; }
+
+  /// The mirror copy of this header occupies the following cache line.
+  LogSegment* mirror_header() { return this + 1; }
 
   LogEntry* entries() {
-    return reinterpret_cast<LogEntry*>(reinterpret_cast<char*>(this) + sizeof(LogSegment));
+    return reinterpret_cast<LogEntry*>(reinterpret_cast<char*>(this) +
+                                       (mirrored() ? 2 : 1) * sizeof(LogSegment));
   }
+  LogEntry* mirror_entries() { return entries() + capacity; }
 };
 static_assert(sizeof(LogSegment) == 64);
 
@@ -179,6 +195,7 @@ static_assert(sizeof(LogSegment) == 64);
 struct SlotLayout {
   static constexpr size_t kChainPad = 0;   // header->pad word holding the chain head
   static constexpr size_t kLogCrcPad = 1;  // whole-log CRC32C (lazy commit, crash_sim)
+  static constexpr size_t kHdrCrcPad = 2;  // whole-header CRC32C (log_mirror only)
 
   TxSlotHeader* header = nullptr;
   uint64_t* alloc_log = nullptr;  // alloc_log_cap words
@@ -186,12 +203,21 @@ struct SlotLayout {
   size_t alloc_log_cap = 0;
   size_t log_capacity = 0;
 
+  // Mirror copies (SystemConfig::log_mirror). Each primary region has a
+  // same-sized replica on distinct cache lines inside the same slot:
+  // [header | mirror header | alloc log | mirror alloc log | log | mirror
+  // log]. Null / false when mirroring is off.
+  TxSlotHeader* mirror_header = nullptr;
+  uint64_t* mirror_alloc_log = nullptr;
+  LogEntry* mirror_log = nullptr;
+  bool mirrored = false;
+
   // DRAM-side view of the persistent chain rooted at header->pad[kChainPad].
   std::vector<LogSegment*> segs;
   std::vector<size_t> seg_caps;
   size_t total_capacity = 0;  // log_capacity + sum(seg_caps)
 
-  static SlotLayout carve(char* slot_base, size_t slot_bytes);
+  static SlotLayout carve(char* slot_base, size_t slot_bytes, bool mirror = false);
 
   /// (Re)build segs/seg_caps/total_capacity from the persistent chain,
   /// validating each link (bounds, alignment, magic) and stopping at the
@@ -199,7 +225,14 @@ struct SlotLayout {
   /// truncates the chain, losing spare capacity but never correctness.
   /// Returns the number of links dropped by such truncation (0 or 1: the
   /// walk stops at the first bad link), so recovery can report it.
-  size_t attach_segments(nvm::Pool& pool);
+  ///
+  /// When `ctx` is given and the slot is mirrored, a segment header that
+  /// fails its checks (bad magic/capacity, or a poisoned line) is repaired
+  /// in place from its mirror copy before validation proceeds, bumping
+  /// *repaired per rewritten header — so a single bad XPLine no longer
+  /// truncates the chain.
+  size_t attach_segments(nvm::Pool& pool, sim::ExecContext* ctx = nullptr,
+                         uint64_t* repaired = nullptr);
 
   /// Log record `i` of the linear index space, or nullptr past the end.
   LogEntry* entry_at(size_t i) {
@@ -207,6 +240,19 @@ struct SlotLayout {
     i -= log_capacity;
     for (size_t k = 0; k < segs.size(); k++) {
       if (i < seg_caps[k]) return segs[k]->entries() + i;
+      i -= seg_caps[k];
+    }
+    return nullptr;
+  }
+
+  /// Mirror copy of log record `i`, or nullptr when not mirrored / past
+  /// the end. Index space mirrors entry_at exactly.
+  LogEntry* mirror_entry_at(size_t i) {
+    if (!mirrored) return nullptr;
+    if (i < log_capacity) return &mirror_log[i];
+    i -= log_capacity;
+    for (size_t k = 0; k < segs.size(); k++) {
+      if (i < seg_caps[k]) return segs[k]->mirror_entries() + i;
       i -= seg_caps[k];
     }
     return nullptr;
@@ -224,7 +270,48 @@ struct SlotLayout {
     }
     return {nullptr, 0};
   }
+
+  /// span_at over the mirror arrays. {nullptr, 0} when not mirrored.
+  std::pair<LogEntry*, size_t> mirror_span_at(size_t i) {
+    if (!mirrored) return {nullptr, 0};
+    if (i < log_capacity) return {&mirror_log[i], log_capacity - i};
+    i -= log_capacity;
+    for (size_t k = 0; k < segs.size(); k++) {
+      if (i < seg_caps[k]) return {segs[k]->mirror_entries() + i, seg_caps[k] - i};
+      i -= seg_caps[k];
+    }
+    return {nullptr, 0};
+  }
 };
+
+/// CRC32C of a slot header's 64 bytes with the pad[kHdrCrcPad] word
+/// treated as zero — the seal maintained by every sealed header update
+/// when log mirroring is on. A fresh zero-filled header does *not*
+/// validate (the CRC of 56 zero bytes is nonzero); recovery treats a
+/// mutually-unsealed primary/mirror pair as pre-mirror state and trusts
+/// the primary, so pools formatted before the first transaction still
+/// recover.
+uint64_t slot_header_crc(const TxSlotHeader& h);
+bool slot_header_crc_ok(const TxSlotHeader& h);
+
+/// Store a full sealed header image — the primary's current fields with
+/// `mirror_status` in place of its status word, plus a matching header
+/// CRC — to the slot's mirror header line, clwb'ing the mirror line.
+/// Passing the primary's current status keeps the copies identical;
+/// passing a kCommitted status ahead of the primary seal is how the
+/// commit paths make "mirror durable before primary seal" hold. The
+/// caller owns the primary's CRC reseal (seal_primary_header_crc), the
+/// primary header flush, and the fence. No-op when not mirrored.
+void seal_and_mirror_header(nvm::Pool& pool, sim::ExecContext& ctx,
+                            stats::TxCounters* c, SlotLayout& slot,
+                            uint64_t mirror_status);
+
+/// Recompute and store the primary header's CRC pad word over its current
+/// content. Must follow any primary header field/status store when
+/// mirroring is on; the caller owns the flush + fence. No-op when not
+/// mirrored.
+void seal_primary_header_crc(nvm::Pool& pool, sim::ExecContext& ctx,
+                             stats::TxCounters* c, SlotLayout& slot);
 
 /// Durably zero a slot's log arrays (alloc log, base write log, every
 /// attached overflow segment) — the epoch-tag wrap quiesce: after 2^24

@@ -33,6 +33,10 @@ void Runtime::debug_set_epoch(sim::ExecContext& ctx, int worker, uint64_t epoch)
   nvm::Memory& mem = pool_.mem();
   mem.store_word(ctx, nullptr, &tx.slot_.header->status,
                  TxSlotHeader::make(epoch, TxSlotHeader::kIdle), nvm::Space::kLog);
+  // Keep the replica header and both CRC seals in step (no-ops unmirrored).
+  seal_and_mirror_header(pool_, ctx, nullptr, tx.slot_,
+                         TxSlotHeader::make(epoch, TxSlotHeader::kIdle));
+  seal_primary_header_crc(pool_, ctx, nullptr, tx.slot_);
   mem.clwb(ctx, nullptr, tx.slot_.header);
   mem.sfence(ctx, nullptr);
 }

@@ -42,6 +42,16 @@ class TxObserver {
   virtual void on_abort(int worker) { (void)worker; }
 };
 
+/// Thrown by Runtime::recover() under RecoveryPolicy::kFailStop when
+/// committed data could not be reconstructed from any copy. The pool is
+/// left exactly as the salvage pass would have left it (repairs applied,
+/// damaged blocks quarantined) so a caller that catches this can still
+/// inspect Runtime::degraded() — but the contract is fail-loud: no
+/// application code should run on a pool that lost committed state.
+struct MediaLossError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 class Runtime {
  public:
   Runtime(nvm::Pool& pool, Algo algo);
@@ -103,6 +113,12 @@ class Runtime {
   /// report.records_discarded() == 0.
   stats::RecoveryReport recover(sim::ExecContext& ctx);
 
+  /// Degraded-mode outcome of the most recent recover() call. All-zero
+  /// (degraded == false) after every healthy recovery; populated under
+  /// RecoveryPolicy::kSalvage when both copies of committed state were
+  /// damaged and the pool kept going with losses quarantined.
+  const stats::DegradedReport& degraded() const { return degraded_; }
+
   /// Install (or clear, with nullptr) the shadow-instrumentation hook.
   /// Must only change while no transactions are running.
   void set_observer(TxObserver* ob) { observer_ = ob; }
@@ -142,6 +158,7 @@ class Runtime {
   std::vector<stats::TxCounters> counters_;
   std::vector<std::unique_ptr<Tx>> txs_;
   TxObserver* observer_ = nullptr;
+  stats::DegradedReport degraded_;  // reset at the top of every recover()
 };
 
 }  // namespace ptm

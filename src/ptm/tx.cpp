@@ -20,7 +20,8 @@ Tx::Tx(Runtime& rt, int worker)
   nvm::Pool& pool = rt.pool();
   crc_logs_ = pool.config().crash_sim;
   psan_ = pool.mem().psan();
-  slot_ = SlotLayout::carve(pool.worker_meta(worker), pool.worker_meta_bytes());
+  slot_ = SlotLayout::carve(pool.worker_meta(worker), pool.worker_meta_bytes(),
+                            pool.config().log_mirror);
   slot_.attach_segments(pool);
   epoch_ = TxSlotHeader::epoch_of(slot_.header->status);
   // Tag 0 is reserved (zero-filled log memory must never alias a live
@@ -149,10 +150,13 @@ void Tx::handle_abort() {
   }
   // Exponential backoff so conflicting transactions separate in (simulated)
   // time; required for livelock-freedom under the DES single-runner rule.
+  // The draw must never collapse to zero — two conflicting workers whose
+  // draws are both 0 ns would retry at the same simulated instant forever —
+  // so the backoff is clamped to at least one backoff_base_ns.
   attempt_++;
   const uint64_t shift = attempt_ < 10 ? attempt_ : 10;
   const auto base = static_cast<uint64_t>(rt_->pool().config().cost.backoff_base_ns);
-  ctx_->advance(rng_.next_bounded((base << shift) + 1));
+  ctx_->advance(std::max<uint64_t>(base, rng_.next_bounded((base << shift) + 1)));
 }
 
 void Tx::abort_tx(stats::AbortCause cause) {
@@ -199,10 +203,13 @@ void Tx::grow_for_capacity() {
   const size_t add = slot_.total_capacity;
   nvm::Pool& pool = rt_->pool();
   nvm::Memory& mem = pool.mem();
+  // A mirrored slot's segments carry a second header line and a second
+  // record array: [hdr | mirror hdr | entries(add) | mirror entries(add)].
+  const size_t copies = slot_.mirrored ? 2 : 1;
+  const size_t seg_bytes = copies * (sizeof(LogSegment) + add * sizeof(LogEntry));
   LogSegment* seg;
   try {
-    seg = static_cast<LogSegment*>(
-        rt_->allocator().alloc_raw(*ctx_, c_, sizeof(LogSegment) + add * sizeof(LogEntry)));
+    seg = static_cast<LogSegment*>(rt_->allocator().alloc_raw(*ctx_, c_, seg_bytes));
   } catch (const std::bad_alloc&) {
     throw CapacityError("persistent heap exhausted while growing the transaction log");
   }
@@ -211,18 +218,40 @@ void Tx::grow_for_capacity() {
   // it exists, so a recovered chain never follows a link into garbage.
   // (alloc_raw's bump memory is zero-filled, so the records need no init —
   // tag 0 never matches a live epoch.)
+  const uint64_t flags = slot_.mirrored ? LogSegment::kFlagMirrored : 0;
+  if (slot_.mirrored) {
+    // Mirror header first, same fields, own line.
+    LogSegment* rep = seg + 1;
+    mem.store_word(*ctx_, c_, &rep->magic, LogSegment::kMagic, nvm::Space::kLog);
+    mem.store_word(*ctx_, c_, &rep->next, 0, nvm::Space::kLog);
+    mem.store_word(*ctx_, c_, &rep->capacity, add, nvm::Space::kLog);
+    mem.store_word(*ctx_, c_, &rep->flags, flags, nvm::Space::kLog);
+    mem.clwb(*ctx_, c_, rep);
+  }
   mem.store_word(*ctx_, c_, &seg->magic, LogSegment::kMagic, nvm::Space::kLog);
   mem.store_word(*ctx_, c_, &seg->next, 0, nvm::Space::kLog);
   mem.store_word(*ctx_, c_, &seg->capacity, add, nvm::Space::kLog);
+  if (flags != 0) mem.store_word(*ctx_, c_, &seg->flags, flags, nvm::Space::kLog);
   mem.clwb(*ctx_, c_, seg);
   mem.sfence(*ctx_, c_);
 
   // Now durably install the link (chain head in the slot header, or the
   // tail segment's `next`).
-  uint64_t* link = slot_.segs.empty() ? &slot_.header->pad[SlotLayout::kChainPad]
-                                      : &slot_.segs.back()->next;
-  mem.store_word(*ctx_, c_, link, SegPtr::make(pool.offset_of(seg), epoch_),
-                 nvm::Space::kLog);
+  const uint64_t link_word = SegPtr::make(pool.offset_of(seg), epoch_);
+  uint64_t* link;
+  if (slot_.segs.empty()) {
+    link = &slot_.header->pad[SlotLayout::kChainPad];
+    mem.store_word(*ctx_, c_, link, link_word, nvm::Space::kLog);
+    sync_mirror_header();
+  } else {
+    LogSegment* tail = slot_.segs.back();
+    if (tail->mirrored()) {
+      mem.store_word(*ctx_, c_, &tail->mirror_header()->next, link_word, nvm::Space::kLog);
+      mem.clwb(*ctx_, c_, tail->mirror_header());
+    }
+    link = &tail->next;
+    mem.store_word(*ctx_, c_, link, link_word, nvm::Space::kLog);
+  }
   mem.clwb(*ctx_, c_, link);
   mem.sfence(*ctx_, c_);
 
@@ -233,9 +262,7 @@ void Tx::grow_for_capacity() {
   // Media-routing hint: segment records are log traffic (PDRAM-Lite places
   // logs in DRAM).
   const uint64_t lo = mem.line_of(seg);
-  const uint64_t hi = mem.line_of(reinterpret_cast<const char*>(seg) + sizeof(LogSegment) +
-                                  add * sizeof(LogEntry) - 1) +
-                      1;
+  const uint64_t hi = mem.line_of(reinterpret_cast<const char*>(seg) + seg_bytes - 1) + 1;
   mem.add_log_line_range(lo, hi);
   c_->log_growths++;
 }
@@ -247,17 +274,11 @@ void* Tx::alloc(size_t n) {
   if (n_alloc_log_ >= slot_.alloc_log_cap) capacity_abort(CapacityKind::kAllocLog);
   void* p = rt_->allocator().alloc(*ctx_, c_, n);
   analysis::PhaseScope ps(psan_, worker_, stats::Phase::kLogAppend);
-  nvm::Memory& mem = rt_->pool().mem();
   const uint64_t off = rt_->pool().offset_of(p);
   uint64_t* entry = &slot_.alloc_log[n_alloc_log_];
   uint64_t word = AllocLogOp::make(off, AllocLogOp::kAlloc, epoch_);
   if (crc_logs_) word = AllocLogOp::seal(word);
-  mem.store_word(*ctx_, c_, entry, word, nvm::Space::kLog);
-  n_alloc_log_++;
-  mem.store_word(*ctx_, c_, &slot_.header->alloc_count, n_alloc_log_, nvm::Space::kLog);
-  mem.clwb(*ctx_, c_, entry);
-  mem.clwb(*ctx_, c_, slot_.header);
-  mem.sfence(*ctx_, c_);
+  append_alloc_word(entry, word);
   tx_allocs_.push_back(p);
   return p;
 }
@@ -265,18 +286,34 @@ void* Tx::alloc(size_t n) {
 void Tx::dealloc(void* p) {
   if (n_alloc_log_ >= slot_.alloc_log_cap) capacity_abort(CapacityKind::kAllocLog);
   analysis::PhaseScope ps(psan_, worker_, stats::Phase::kLogAppend);
-  nvm::Memory& mem = rt_->pool().mem();
   const uint64_t off = rt_->pool().offset_of(p);
   uint64_t* entry = &slot_.alloc_log[n_alloc_log_];
   uint64_t word = AllocLogOp::make(off, AllocLogOp::kFree, epoch_);
   if (crc_logs_) word = AllocLogOp::seal(word);
+  append_alloc_word(entry, word);
+  tx_frees_.push_back(p);
+}
+
+void Tx::append_alloc_word(uint64_t* entry, uint64_t word) {
+  nvm::Memory& mem = rt_->pool().mem();
+  if (slot_.mirrored) {
+    uint64_t* m = &slot_.mirror_alloc_log[n_alloc_log_];
+    mem.store_word(*ctx_, c_, m, word, nvm::Space::kLog);
+    mem.clwb(*ctx_, c_, m);
+  }
   mem.store_word(*ctx_, c_, entry, word, nvm::Space::kLog);
   n_alloc_log_++;
   mem.store_word(*ctx_, c_, &slot_.header->alloc_count, n_alloc_log_, nvm::Space::kLog);
+  sync_mirror_header();
   mem.clwb(*ctx_, c_, entry);
   mem.clwb(*ctx_, c_, slot_.header);
   mem.sfence(*ctx_, c_);
-  tx_frees_.push_back(p);
+}
+
+void Tx::sync_mirror_header() {
+  if (!slot_.mirrored) return;
+  seal_and_mirror_header(rt_->pool(), *ctx_, c_, slot_, slot_.header->status);
+  seal_primary_header_crc(rt_->pool(), *ctx_, c_, slot_);
 }
 
 void Tx::append_log(uint64_t off, uint64_t val) {
@@ -286,6 +323,15 @@ void Tx::append_log(uint64_t off, uint64_t val) {
   LogEntry* e = slot_.entry_at(n_log_);
   uint64_t packed = LogEntry::pack(epoch_, off);
   if (crc_logs_) packed = LogEntry::seal(packed, val);
+  if (slot_.mirrored) {
+    // Replica record first (program order) on its own line; it rides the
+    // same flush/fence batch as the primary, so after any ack fence both
+    // copies are durable.
+    LogEntry* m = slot_.mirror_entry_at(n_log_);
+    mem.store_word(*ctx_, c_, &m->off, packed, nvm::Space::kLog);
+    mem.store_word(*ctx_, c_, &m->val, val, nvm::Space::kLog);
+    c_->log_bytes += sizeof(LogEntry);
+  }
   mem.store_word(*ctx_, c_, &e->off, packed, nvm::Space::kLog);
   mem.store_word(*ctx_, c_, &e->val, val, nvm::Space::kLog);
   n_log_++;
@@ -300,21 +346,28 @@ void Tx::persist_slot_header() {
 void Tx::persist_log_range(size_t first_entry, size_t n_entries) {
   nvm::Memory& mem = rt_->pool().mem();
   // The linear record range may span the base log and several overflow
-  // segments; flush each contiguous run separately.
-  while (n_entries > 0) {
-    auto [run, run_cap] = slot_.span_at(first_entry);
-    assert(run != nullptr && "persist_log_range past total_capacity");
-    const size_t n = std::min(n_entries, run_cap);
-    const char* lo = reinterpret_cast<const char*>(run);
-    const char* hi = reinterpret_cast<const char*>(run + n) - 1;
-    for (const char* p = reinterpret_cast<const char*>(
-             reinterpret_cast<uintptr_t>(lo) & ~uintptr_t{63});
-         p <= hi; p += nvm::Memory::kLineBytes) {
-      mem.clwb(*ctx_, c_, p);
+  // segments; flush each contiguous run separately. Mirror lines join the
+  // same batch so the caller's fence makes both copies durable together.
+  auto flush_runs = [&](bool mirror) {
+    size_t first = first_entry;
+    size_t left = n_entries;
+    while (left > 0) {
+      auto [run, run_cap] = mirror ? slot_.mirror_span_at(first) : slot_.span_at(first);
+      assert(run != nullptr && "persist_log_range past total_capacity");
+      const size_t n = std::min(left, run_cap);
+      const char* lo = reinterpret_cast<const char*>(run);
+      const char* hi = reinterpret_cast<const char*>(run + n) - 1;
+      for (const char* p = reinterpret_cast<const char*>(
+               reinterpret_cast<uintptr_t>(lo) & ~uintptr_t{63});
+           p <= hi; p += nvm::Memory::kLineBytes) {
+        mem.clwb(*ctx_, c_, p);
+      }
+      first += n;
+      left -= n;
     }
-    first_entry += n;
-    n_entries -= n;
-  }
+  };
+  if (slot_.mirrored) flush_runs(/*mirror=*/true);
+  flush_runs(/*mirror=*/false);
 }
 
 void Tx::release_owned(uint64_t version_word) {
@@ -333,9 +386,10 @@ void Tx::cancel_allocs() {
   if (n_alloc_log_ > 0) {
     nvm::Memory& mem = rt_->pool().mem();
     mem.store_word(*ctx_, c_, &slot_.header->alloc_count, 0, nvm::Space::kLog);
+    n_alloc_log_ = 0;
+    sync_mirror_header();
     mem.clwb(*ctx_, c_, slot_.header);
     mem.sfence(*ctx_, c_);
-    n_alloc_log_ = 0;
   }
 }
 
@@ -349,8 +403,14 @@ void Tx::apply_frees() {
 
 void Tx::set_status(uint64_t state, bool fence) {
   nvm::Memory& mem = rt_->pool().mem();
-  mem.store_word(*ctx_, c_, &slot_.header->status, TxSlotHeader::make(epoch_, state),
-                 nvm::Space::kLog);
+  const uint64_t word = TxSlotHeader::make(epoch_, state);
+  // Replica first (program order): the mirror header carries the new state
+  // and its seal before the primary's status word changes, so at every
+  // instant — and in particular at the commit seal — the mirror is at
+  // least as new as the primary.
+  if (slot_.mirrored) seal_and_mirror_header(rt_->pool(), *ctx_, c_, slot_, word);
+  mem.store_word(*ctx_, c_, &slot_.header->status, word, nvm::Space::kLog);
+  if (slot_.mirrored) seal_primary_header_crc(rt_->pool(), *ctx_, c_, slot_);
   mem.clwb(*ctx_, c_, slot_.header);
   if (fence) mem.sfence(*ctx_, c_);
 }
@@ -413,6 +473,26 @@ void Tx::psan_check_header_persisted(analysis::DiagKind kind, const char* what) 
   if (!psan_) return;
   rt_->pool().mem().psan_check_persisted(*ctx_, slot_.header, sizeof(TxSlotHeader),
                                          kind, what);
+}
+
+void Tx::psan_check_mirror_log_persisted(size_t first_entry, size_t n_entries,
+                                         analysis::DiagKind kind, const char* what) {
+  if (!psan_ || !slot_.mirrored || n_entries == 0) return;
+  nvm::Memory& mem = rt_->pool().mem();
+  while (n_entries > 0) {
+    auto [run, run_cap] = slot_.mirror_span_at(first_entry);
+    assert(run != nullptr && "psan_check_mirror_log_persisted past total_capacity");
+    const size_t n = std::min(n_entries, run_cap);
+    mem.psan_check_persisted(*ctx_, run, n * sizeof(LogEntry), kind, what);
+    first_entry += n;
+    n_entries -= n;
+  }
+}
+
+void Tx::psan_check_mirror_header_persisted(analysis::DiagKind kind, const char* what) {
+  if (!psan_ || !slot_.mirrored) return;
+  rt_->pool().mem().psan_check_persisted(*ctx_, slot_.mirror_header,
+                                         sizeof(TxSlotHeader), kind, what);
 }
 
 void Tx::psan_check_dirty_persisted(analysis::DiagKind kind, const char* what) {

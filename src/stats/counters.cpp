@@ -64,6 +64,22 @@ void RecoveryReport::add(const RecoveryReport& o) {
   segment_links_truncated += o.segment_links_truncated;
   log_crc_mismatches += o.log_crc_mismatches;
   media_faults += o.media_faults;
+  records_damaged += o.records_damaged;
+  records_repaired += o.records_repaired;
+  records_lost += o.records_lost;
+  mirror_enabled = mirror_enabled || o.mirror_enabled;
+}
+
+void ScrubStats::add(const ScrubStats& o) {
+  enabled = enabled || o.enabled;
+  passes += o.passes;
+  lines_scanned += o.lines_scanned;
+  crc_checks += o.crc_checks;
+  media_faults_found += o.media_faults_found;
+  repaired += o.repaired;
+  unrepairable += o.unrepairable;
+  header_repairs += o.header_repairs;
+  skipped_busy += o.skipped_busy;
 }
 
 void PsanSummary::add(const PsanSummary& o) {

@@ -100,6 +100,19 @@ struct RecoveryReport {
   uint64_t log_crc_mismatches = 0;    // committed whole-log CRC failures
   uint64_t media_faults = 0;          // poisoned lines known at recovery
 
+  // Damage accounting split (detected / repaired / lost). The legacy
+  // buckets above keep attributing each *primary-copy* screening failure;
+  // these three add the mirror-era verdict: every primary-copy damage
+  // observation counts as detected, damage healed from an intact mirror
+  // copy counts as repaired, and damage with no usable copy left counts
+  // as lost. With mirroring on, nonzero detected/torn/media buckets can
+  // therefore coexist with records_lost == 0 — that is the feature
+  // working, not an inconsistency.
+  uint64_t records_damaged = 0;   // detected: primary-copy damage observations
+  uint64_t records_repaired = 0;  // primary rewritten in place from its mirror
+  uint64_t records_lost = 0;      // both copies unusable (or no mirror existed)
+  bool mirror_enabled = false;    // SystemConfig::log_mirror at recovery time
+
   /// Records recovery refused to apply for any reason other than a stale
   /// tag (stale tags are ordinary leftovers, not damage).
   uint64_t records_discarded() const {
@@ -107,6 +120,35 @@ struct RecoveryReport {
   }
 
   void add(const RecoveryReport& o);
+};
+
+/// Surfaced by Runtime::recover() under RecoveryPolicy::kSalvage when
+/// damage was beyond repair: what was lost and what got quarantined so
+/// the runtime could keep going. All-zero (degraded == false) on every
+/// healthy recovery.
+struct DegradedReport {
+  bool degraded = false;          // any unrepairable damage seen
+  uint64_t lost_records = 0;      // log records with no usable copy
+  uint64_t lost_txs = 0;          // slots that lost at least one record/header
+  uint64_t quarantined_bytes = 0;   // heap bytes excluded from reuse
+  uint64_t quarantined_blocks = 0;  // allocator blocks diverted from free lists
+};
+
+/// Background scrubber counters (ptm::Scrubber), one pool lifetime.
+/// Serialized under the "scrub" key of REPRO_JSON artifacts only when the
+/// scrubber ran (enabled), keeping default-config output unchanged.
+struct ScrubStats {
+  bool enabled = false;
+  uint64_t passes = 0;             // full walks completed
+  uint64_t lines_scanned = 0;      // log/metadata cache lines examined
+  uint64_t crc_checks = 0;         // sealed header CRC validations
+  uint64_t media_faults_found = 0; // poisoned lines detected while scanning
+  uint64_t repaired = 0;           // lines rewritten in place from a mirror
+  uint64_t unrepairable = 0;       // poisoned lines with no healthy mirror
+  uint64_t header_repairs = 0;     // of `repaired`: slot/segment header lines
+  uint64_t skipped_busy = 0;       // slots skipped because a tx was in flight
+
+  void add(const ScrubStats& o);
 };
 
 /// Aggregated verdict of the persistency sanitizer (analysis::Psan) for

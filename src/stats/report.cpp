@@ -93,7 +93,29 @@ void write_run_result_fields(JsonWriter& w, const RunResult& r) {
   w.kv("log_crc_mismatches", rec.log_crc_mismatches);
   w.kv("media_faults", rec.media_faults);
   w.kv("log_range_drops", r.log_range_drops);
+  if (rec.mirror_enabled) {
+    // Mirror-era damage verdict keys appear only when mirroring ran, so
+    // default-config artifacts keep their pre-mirror shape byte for byte.
+    w.kv("records_damaged", rec.records_damaged);
+    w.kv("records_repaired", rec.records_repaired);
+    w.kv("records_lost", rec.records_lost);
+    w.kv("mirror_enabled", rec.mirror_enabled);
+  }
   w.end_object();
+
+  if (r.scrub.enabled) {
+    const ScrubStats& sc = r.scrub;
+    w.key("scrub").begin_object();
+    w.kv("passes", sc.passes);
+    w.kv("lines_scanned", sc.lines_scanned);
+    w.kv("crc_checks", sc.crc_checks);
+    w.kv("media_faults_found", sc.media_faults_found);
+    w.kv("repaired", sc.repaired);
+    w.kv("unrepairable", sc.unrepairable);
+    w.kv("header_repairs", sc.header_repairs);
+    w.kv("skipped_busy", sc.skipped_busy);
+    w.end_object();
+  }
 
   if (r.psan.enabled) {
     const PsanSummary& ps = r.psan;

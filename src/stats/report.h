@@ -51,6 +51,11 @@ struct RunResult {
   RecoveryReport recovery;
   uint64_t log_range_drops = 0;
 
+  // Background scrubber counters; serialized under a "scrub" key only when
+  // scrub.enabled (scrub_interval_ns > 0), keeping default artifacts
+  // byte-identical to pre-scrubber runs.
+  ScrubStats scrub;
+
   // Persistency-sanitizer verdict for this point's pool; serialized under
   // a "psan" key only when psan.enabled (so default-config artifacts stay
   // byte-identical to runs built before the sanitizer existed).

@@ -1,9 +1,11 @@
 #include "workloads/driver.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 
 #include "analysis/psan.h"
+#include "ptm/scrub.h"
 #include "stats/trace.h"
 
 namespace workloads {
@@ -53,14 +55,30 @@ stats::RunResult run_point(const WorkloadFactory& factory, const RunPoint& p) {
                                        std::to_string(p.threads));
   }
 
-  sim::Engine engine(p.threads);
+  // With scrubbing configured, one extra fiber patrols the log metadata at
+  // the configured sim-time cadence until every worker has finished. Its
+  // worker id is p.threads — the same id as the setup slot, which is idle
+  // for the whole measured run, so WPQ/channel bookkeeping stays in range.
+  const bool scrubbing = cfg.scrub_interval_ns > 0;
+  ptm::Scrubber scrub(rt);
+  std::atomic<int> active{p.threads};
+  sim::Engine engine(scrubbing ? p.threads + 1 : p.threads);
   const uint64_t ops = p.ops_per_thread;
   const auto wall_start = std::chrono::steady_clock::now();
   engine.run([&](sim::ExecContext& ctx) {
+    if (scrubbing && ctx.worker_id() == p.threads) {
+      while (active.load(std::memory_order_acquire) > 0) {
+        scrub.run_pass(ctx);
+        if (active.load(std::memory_order_acquire) <= 0) break;
+        ctx.advance(cfg.scrub_interval_ns);
+      }
+      return;
+    }
     util::Rng rng(p.seed ^ (0x5bd1e995u * static_cast<uint64_t>(ctx.worker_id() + 1)));
     for (uint64_t i = 0; i < ops; i++) {
       w->op(rt, ctx, rng);
     }
+    if (scrubbing) active.fetch_sub(1, std::memory_order_acq_rel);
   });
   const auto wall_end = std::chrono::steady_clock::now();
 
@@ -73,6 +91,7 @@ stats::RunResult run_point(const WorkloadFactory& factory, const RunPoint& p) {
   r.totals = stats::aggregate(per_thread);
   r.recovery = recovery;
   r.log_range_drops = pool.mem().log_range_drops();
+  if (scrubbing) r.scrub = scrub.stats();
   if (analysis::Psan* ps = pool.mem().psan()) r.psan = ps->summary();
   if (pool.mem().devstats()) r.device = pool.mem().device_snapshot(r.sim_ns);
   r.wall_ns = static_cast<uint64_t>(

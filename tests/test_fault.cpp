@@ -8,6 +8,10 @@
 // edges those two drive at scale.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <string>
+#include <tuple>
+
 #include "fault/harness.h"
 #include "ptm/runtime.h"
 #include "test_common.h"
@@ -287,5 +291,79 @@ TEST(LogRanges, DropsPastTableCapacityAreCounted) {
   }
   EXPECT_EQ(mem.log_range_drops(), before + 3);
 }
+
+// ---------------------------------------------------------------------------
+// Mirror-seal path: with log_mirror on, a commit writes both copies of
+// every record plus the replica COMMITTED header (its own fence batch, see
+// docs/LOGGING.md). Crash at every persistence event of that sequence —
+// both algorithms, all four durability domains, torn stores on — and the
+// outcome must be all-or-nothing with zero lost records: whichever copies
+// survive, they agree or recovery prefers the consistent one.
+
+class MirrorSealSweep
+    : public ::testing::TestWithParam<std::tuple<ptm::Algo, nvm::Domain>> {};
+
+TEST_P(MirrorSealSweep, CrashAtEveryEventLosesNothing) {
+  const auto [algo, domain] = GetParam();
+  // One probe run measures the event count of the mirrored commit.
+  uint64_t total_events = 0;
+  {
+    auto cfg = test::crash_cfg(domain);
+    cfg.log_mirror = true;
+    cfg.torn_stores = true;
+    nvm::Pool pool(cfg);
+    ptm::Runtime rt(pool, algo);
+    sim::RealContext ctx(0, 4);
+    auto* cells = pool.root<std::array<uint64_t, 8>>();
+    const uint64_t before = pool.mem().persistence_events();
+    rt.run(ctx, [&](ptm::Tx& tx) {
+      for (int i = 0; i < 8; i++) tx.write(&(*cells)[i], static_cast<uint64_t>(i));
+    });
+    total_events = pool.mem().persistence_events() - before;
+  }
+  ASSERT_GT(total_events, 0u);
+
+  for (uint64_t k = 1; k <= total_events; k++) {
+    auto cfg = test::crash_cfg(domain);
+    cfg.log_mirror = true;
+    cfg.torn_stores = true;
+    fault::CrashHarness h(cfg, algo);
+    sim::RealContext ctx(0, 4);
+    auto* cells = h.pool.root<std::array<uint64_t, 8>>();
+    for (int i = 0; i < 8; i++) (*cells)[i] = 100;
+    h.seal_initial_state();
+
+    h.run_until_crash(k, /*crash_seed=*/1000 + k, [&] {
+      h.rt.run(ctx, [&](ptm::Tx& tx) {
+        for (int i = 0; i < 8; i++) tx.write(&(*cells)[i], static_cast<uint64_t>(i));
+      });
+    });
+    h.power_fail_and_recover(ctx, /*image_seed=*/k);
+
+    test::expect_clean_recovery(h.report);
+    EXPECT_TRUE(h.report.mirror_enabled);
+    EXPECT_EQ(h.report.records_lost, 0u) << "event " << k << "/" << total_events;
+    const auto res = h.verify();
+    EXPECT_TRUE(res.ok) << "event " << k << "/" << total_events << ": " << res.detail;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgosAllDomains, MirrorSealSweep,
+    ::testing::Combine(::testing::Values(ptm::Algo::kOrecLazy, ptm::Algo::kOrecEager),
+                       ::testing::Values(nvm::Domain::kAdr, nvm::Domain::kEadr,
+                                         nvm::Domain::kPdram, nvm::Domain::kPdramLite)),
+    [](const auto& pinfo) {
+      const ptm::Algo algo = std::get<0>(pinfo.param);
+      const nvm::Domain domain = std::get<1>(pinfo.param);
+      std::string n = algo == ptm::Algo::kOrecLazy ? "Lazy" : "Eager";
+      switch (domain) {
+        case nvm::Domain::kAdr: return n + "Adr";
+        case nvm::Domain::kEadr: return n + "Eadr";
+        case nvm::Domain::kPdram: return n + "Pdram";
+        case nvm::Domain::kPdramLite: return n + "PdramLite";
+      }
+      return n;
+    });
 
 }  // namespace
