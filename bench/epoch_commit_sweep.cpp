@@ -1,0 +1,82 @@
+// Epoch/group-commit sweep: the commit-latency vs throughput trade-off of
+// fence coalescing (ptm::EpochManager), per-transaction commit vs epoch
+// commit across thread counts and all four durability domains.
+//
+// For each domain, one table with a per-tx and an epoch column group:
+// throughput (simulated Mtx/s), commit-call p50/p99 (microseconds, from
+// the kCommit phase histogram — in epoch mode a commit call includes the
+// publish + epoch-close wait), fences per committed transaction, and the
+// mean drained epoch size. Expected shape: at high thread counts epoch
+// commit trades longer individual commit calls (members wait for the
+// group fence) for fewer fences per transaction and higher throughput on
+// fence-dominated domains (ADR); on eADR/PDRAM, where fences are cheap,
+// the two modes converge.
+//
+// Phase histograms require telemetry; this binary force-enables it, so
+// its REPRO_JSON artifact always carries the phase percentiles plus the
+// "epoch" section for the epoch-mode points.
+#include "bench_common.h"
+#include "workloads/btree_micro.h"
+
+namespace {
+
+double us(uint64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+double per_commit(uint64_t events, uint64_t commits) {
+  return commits == 0 ? 0.0 : static_cast<double>(events) / static_cast<double>(commits);
+}
+
+}  // namespace
+
+int main() {
+  stats::set_telemetry_enabled(true);
+
+  workloads::BTreeMicroParams bp;
+  bp.insert_only = true;
+  const auto factory = workloads::btree_micro_factory(bp);
+
+  for (nvm::Domain domain : {nvm::Domain::kAdr, nvm::Domain::kEadr,
+                             nvm::Domain::kPdram, nvm::Domain::kPdramLite}) {
+    util::TextTable table({"threads", "pertx_mtx", "pertx_p50_us", "pertx_p99_us",
+                           "pertx_fence", "epoch_mtx", "epoch_p50_us", "epoch_p99_us",
+                           "epoch_fence", "epoch_size"});
+    const std::string title =
+        std::string("Epoch commit sweep (") + nvm::domain_name(domain) + ")";
+
+    for (int threads : bench::thread_sweep()) {
+      std::vector<std::string> row{std::to_string(threads)};
+      double epoch_size = 0.0;
+      for (bool epoch : {false, true}) {
+        workloads::RunPoint p;
+        bench::apply_model_scale(p.sys);
+        p.sys.media = nvm::Media::kOptane;
+        p.sys.domain = domain;
+        p.sys.epoch_commit = epoch;
+        // One full concurrent round per epoch: every worker contributes a
+        // member, the last one to publish drains by size. The age bound
+        // (SystemConfig default) closes tail epochs and lone workers.
+        p.sys.epoch_max_txs = static_cast<size_t>(threads);
+        p.algo = ptm::Algo::kOrecLazy;
+        p.threads = threads;
+        p.ops_per_thread = bench::scaled_ops(300);
+        const auto r = workloads::run_point(factory, p);
+
+        const stats::Histogram& commit =
+            r.totals.phases[stats::Phase::kCommit];
+        row.push_back(util::fmt(r.throughput_mtx_per_sec(), 3));
+        row.push_back(util::fmt(us(commit.p50()), 1));
+        row.push_back(util::fmt(us(commit.p99()), 1));
+        row.push_back(util::fmt(per_commit(r.totals.sfences, r.totals.commits), 2));
+        if (epoch) epoch_size = r.epoch.mean_size();
+        bench::Output::instance().add_result(
+            title, r.config + (epoch ? "_epoch" : "_pertx"), r);
+      }
+      row.push_back(util::fmt(epoch_size, 2));
+      table.add_row(std::move(row));
+      std::cout << "." << std::flush;
+    }
+    bench::Output::instance().table(
+        title + " (per-tx vs epoch: Mtx/s, commit p50/p99, fences/commit)", table);
+  }
+  return 0;
+}

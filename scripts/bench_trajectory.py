@@ -22,13 +22,43 @@ Only the standard library is used.
 import argparse
 import json
 import os
+import platform
 import sys
 
 SUBSYSTEMS = ("cache", "channel", "wpq", "psan", "fault")
 
 
 def rate(events, wall_ns):
-    return events * 1e9 / wall_ns if wall_ns else 0.0
+    # A zero wall-clock denominator means the self-profiler never measured
+    # anything (REPRO_BENCH plumbing broken, or a truncated artifact). A
+    # silent 0.0 here once produced trajectory records whose every
+    # comparison passed the CI gate vacuously — refuse instead.
+    if wall_ns <= 0:
+        sys.exit(
+            f"zero/negative wall_ns for {events} sim events: the wall-clock "
+            "self-profile is broken; refusing to record a zero rate"
+        )
+    return events * 1e9 / wall_ns
+
+
+def environment():
+    """Host identity recorded with each trajectory: wall-clock rates are
+    machine-dependent, so compare_results.py --trajectory uses this to
+    downgrade cross-machine deltas to warnings."""
+    cpu = ""
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.startswith("model name"):
+                    cpu = line.split(":", 1)[1].strip()
+                    break
+    except OSError:
+        pass
+    return {
+        "hostname": platform.node(),
+        "cpu_model": cpu or platform.processor() or platform.machine(),
+        "cores": os.cpu_count() or 0,
+    }
 
 
 def summarize(points):
@@ -65,6 +95,12 @@ def main():
         if not points:
             print(f"note: {path} has no points (skipped)", file=sys.stderr)
             continue
+        for p in points:
+            if p.get("wall_ns", 0) <= 0:
+                sys.exit(
+                    f"{path}: point {p.get('bench', '?')}/{p.get('label', '?')} "
+                    "has zero wall_ns — the self-profile is broken"
+                )
         name = os.path.basename(path)
         for suffix in (".bench.json", ".json"):
             if name.endswith(suffix):
@@ -82,6 +118,7 @@ def main():
         "schema_version": 1,
         "tool": "optane-ptm-bench-trajectory",
         "pr": args.pr,
+        "environment": environment(),
         "benches": dict(sorted(benches.items())),
         "totals": summarize(all_points),
     }

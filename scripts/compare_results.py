@@ -57,6 +57,22 @@ def load_trajectory(path):
     return doc
 
 
+def cross_machine(base, cand):
+    """True when the two trajectory records were provably produced on
+    different hardware. Rates from different machines are not comparable,
+    so regressions are downgraded to warnings. The decision uses CPU model
+    and core count, not hostname: CI runners draw fresh hostnames from an
+    identical-hardware pool every run, and keying on hostname would
+    permanently neuter the gate there. Hostnames are still printed for
+    diagnosis. Records predating the environment field compare as before
+    (unknown is not proof of a different machine)."""
+    eb, ec = base.get("environment"), cand.get("environment")
+    if not eb or not ec:
+        return False
+    return (eb.get("cpu_model"), eb.get("cores")) != (
+        ec.get("cpu_model"), ec.get("cores"))
+
+
 def compare_trajectories(base_path, cand_path, threshold):
     base = load_trajectory(base_path)
     cand = load_trajectory(cand_path)
@@ -72,15 +88,36 @@ def compare_trajectories(base_path, cand_path, threshold):
                  base["totals"]["sim_events_per_sec"],
                  cand["totals"]["sim_events_per_sec"]))
 
+    # A zero rate on either side means a broken self-profile, not a slow
+    # simulator. The old `if rb else 0.0` guard silently reported +0.0%
+    # for such rows, so a dead profiler could never fail the gate.
+    for name, rb, rc in rows:
+        if rb <= 0 or rc <= 0:
+            sys.exit(f"{name}: zero sim-events/sec rate "
+                     f"({rb:g} -> {rc:g}) — the wall-clock self-profile is "
+                     "broken; refusing to compare")
+
+    foreign = cross_machine(base, cand)
+    eb, ec = base.get("environment", {}), cand.get("environment", {})
+    if foreign:
+        print(f"note: trajectories come from different hardware "
+              f"({eb.get('cpu_model', '?')} x{eb.get('cores', '?')} "
+              f"[{eb.get('hostname', '?')}] vs "
+              f"{ec.get('cpu_model', '?')} x{ec.get('cores', '?')} "
+              f"[{ec.get('hostname', '?')}]); deltas reported as warnings only")
+
     print(f"trajectory: PR {base.get('pr', '?')} -> PR {cand.get('pr', '?')} "
           f"(sim-events/sec, threshold {threshold:g}%)")
     regressions = []
     for name, rb, rc in rows:
-        delta = 100.0 * (rc / rb - 1.0) if rb else 0.0
+        delta = 100.0 * (rc / rb - 1.0)
         mark = ""
         if delta < -threshold:
-            mark = "  <-- REGRESSION"
-            regressions.append(name)
+            if foreign:
+                mark = "  <-- warn: beyond threshold (cross-machine)"
+            else:
+                mark = "  <-- REGRESSION"
+                regressions.append(name)
         print(f"  {name:30s} {rb / 1e6:10.3f} -> {rc / 1e6:10.3f} M/s "
               f"({delta:+.1f}%){mark}")
 
@@ -138,6 +175,12 @@ def main():
         ab = b["counters"]["aborts"]
         ac = c["counters"]["aborts"]
         if ab and ac > ab * (1.0 + args.threshold / 100.0):
+            abort_warnings.append((key, ab, ac))
+        elif ab == 0 and ac > 0:
+            # With a zero baseline the truthiness guard above short-
+            # circuits, so a point that went from no aborts to any aborts
+            # was never flagged. Growth from zero is infinite in relative
+            # terms — always worth a warning.
             abort_warnings.append((key, ab, ac))
 
     print(f"matched points : {len(matched)}")

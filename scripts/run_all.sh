@@ -30,5 +30,5 @@ done
 # Roll the self-profiles into the per-PR trajectory record. Successive
 # BENCH_<n>.json files chart how fast the simulator runs as the codebase
 # grows; compare_results.py --trajectory flags sim-speed regressions.
-python3 scripts/bench_trajectory.py --out "BENCH_${BENCH_PR:-7}.json" \
-  --pr "${BENCH_PR:-7}" results/*.bench.json
+python3 scripts/bench_trajectory.py --out "BENCH_${BENCH_PR:-8}.json" \
+  --pr "${BENCH_PR:-8}" results/*.bench.json

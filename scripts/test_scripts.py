@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Self-tests for the perf-gate scripts (bench_trajectory.py and
+compare_results.py), run in CI so the gates themselves are gated.
+
+The cases pin the failure modes that once let the gates pass vacuously:
+zero wall_ns / zero sim-events rates silently reporting 0.0 instead of
+erroring, the abort check never firing from a zero baseline, and
+cross-machine trajectory comparisons being treated as regressions.
+
+Usage: python3 scripts/test_scripts.py   (exit 0 = all pass)
+Only the standard library is used.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPTS = os.path.dirname(os.path.abspath(__file__))
+
+
+def run(script, *args):
+    return subprocess.run(
+        [sys.executable, os.path.join(SCRIPTS, script), *args],
+        capture_output=True, text=True)
+
+
+def profile_point(bench="b", label="l", wall_ns=1000, sim_events=100):
+    return {
+        "bench": bench, "label": label, "workload": "w", "config": "c",
+        "threads": 1, "sim_ns": 500, "throughput_tx_per_sec": 1e6,
+        "wall_ns": wall_ns, "sim_events": sim_events,
+        "sim_events_per_sec": 0.0,
+        "subsystems": {"cache": 1, "channel": 1, "wpq": 1, "psan": 0,
+                       "fault": 0},
+    }
+
+
+def profile_doc(points):
+    return {"schema_version": 1, "tool": "optane-ptm-bench-profile",
+            "points": points, "totals": {}}
+
+
+def trajectory_doc(pr, rate, env=None):
+    bench = {
+        "points": 1, "wall_ns": 1000, "sim_events": 100,
+        "sim_events_per_sec": rate,
+        "sim_throughput_tx_per_sec_mean": 1e6,
+        "subsystem_events": {},
+    }
+    doc = {
+        "schema_version": 1, "tool": "optane-ptm-bench-trajectory",
+        "pr": pr,
+        "benches": {"fig3": dict(bench)},
+        "totals": {k: v for k, v in bench.items()
+                   if k != "sim_throughput_tx_per_sec_mean"},
+    }
+    if env is not None:
+        doc["environment"] = env
+    return doc
+
+
+def results_doc(aborts):
+    return {
+        "schema_version": 1, "tool": "optane-ptm-bench",
+        "results": [{
+            "bench": "b", "label": "l", "threads": 1,
+            "throughput_tx_per_sec": 1e6,
+            "counters": {"aborts": aborts},
+        }],
+    }
+
+
+class TempDirTest(unittest.TestCase):
+    def setUp(self):
+        self._td = tempfile.TemporaryDirectory()
+        self.dir = self._td.name
+
+    def tearDown(self):
+        self._td.cleanup()
+
+    def write(self, name, doc):
+        path = os.path.join(self.dir, name)
+        with open(path, "w") as f:
+            json.dump(doc, f)
+        return path
+
+
+class BenchTrajectoryTest(TempDirTest):
+    def test_merges_and_records_environment(self):
+        prof = self.write("fig3.bench.json", profile_doc([profile_point()]))
+        out = os.path.join(self.dir, "BENCH_1.json")
+        r = run("bench_trajectory.py", "--out", out, "--pr", "1", prof)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        with open(out) as f:
+            rec = json.load(f)
+        env = rec["environment"]
+        self.assertTrue(env["hostname"])
+        self.assertTrue(env["cpu_model"])
+        self.assertGreater(env["cores"], 0)
+        self.assertGreater(rec["totals"]["sim_events_per_sec"], 0)
+
+    def test_zero_wall_ns_is_a_hard_error(self):
+        prof = self.write("broken.bench.json",
+                          profile_doc([profile_point(wall_ns=0)]))
+        out = os.path.join(self.dir, "BENCH_1.json")
+        r = run("bench_trajectory.py", "--out", out, "--pr", "1", prof)
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn("wall_ns", r.stderr)
+        self.assertFalse(os.path.exists(out))
+
+
+class CompareTrajectoryTest(TempDirTest):
+    ENV_A = {"hostname": "a", "cpu_model": "cpu-x", "cores": 8}
+    ENV_B = {"hostname": "b", "cpu_model": "cpu-y", "cores": 32}
+
+    def test_zero_rate_is_a_hard_error(self):
+        base = self.write("BENCH_1.json", trajectory_doc(1, 0.0))
+        cand = self.write("BENCH_2.json", trajectory_doc(2, 1e8))
+        r = run("compare_results.py", "--trajectory", base, cand)
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn("zero sim-events/sec", r.stderr)
+
+    def test_same_machine_regression_fails(self):
+        base = self.write("BENCH_1.json", trajectory_doc(1, 1e8, self.ENV_A))
+        cand = self.write("BENCH_2.json", trajectory_doc(2, 1e7, self.ENV_A))
+        r = run("compare_results.py", "--trajectory", base, cand,
+                "--threshold", "10")
+        self.assertEqual(r.returncode, 1, r.stdout)
+        self.assertIn("REGRESSION", r.stdout)
+
+    def test_cross_machine_regression_downgrades_to_warning(self):
+        base = self.write("BENCH_1.json", trajectory_doc(1, 1e8, self.ENV_A))
+        cand = self.write("BENCH_2.json", trajectory_doc(2, 1e7, self.ENV_B))
+        r = run("compare_results.py", "--trajectory", base, cand,
+                "--threshold", "10")
+        self.assertEqual(r.returncode, 0, r.stdout)
+        self.assertNotIn("REGRESSION", r.stdout)
+        self.assertIn("different hardware", r.stdout)
+
+    def test_hostname_alone_does_not_mean_cross_machine(self):
+        # CI runners: fresh hostname every run, identical hardware. The
+        # gate must still fail.
+        env_b = dict(self.ENV_A, hostname="other-host")
+        base = self.write("BENCH_1.json", trajectory_doc(1, 1e8, self.ENV_A))
+        cand = self.write("BENCH_2.json", trajectory_doc(2, 1e7, env_b))
+        r = run("compare_results.py", "--trajectory", base, cand,
+                "--threshold", "10")
+        self.assertEqual(r.returncode, 1, r.stdout)
+
+    def test_records_without_environment_still_gate(self):
+        base = self.write("BENCH_1.json", trajectory_doc(1, 1e8))
+        cand = self.write("BENCH_2.json", trajectory_doc(2, 1e7))
+        r = run("compare_results.py", "--trajectory", base, cand,
+                "--threshold", "10")
+        self.assertEqual(r.returncode, 1, r.stdout)
+
+    def test_no_regression_passes(self):
+        base = self.write("BENCH_1.json", trajectory_doc(1, 1e8, self.ENV_A))
+        cand = self.write("BENCH_2.json", trajectory_doc(2, 1.01e8, self.ENV_A))
+        r = run("compare_results.py", "--trajectory", base, cand,
+                "--threshold", "10")
+        self.assertEqual(r.returncode, 0, r.stdout)
+
+
+class CompareResultsTest(TempDirTest):
+    def test_aborts_from_zero_baseline_are_flagged(self):
+        base = self.write("base.json", results_doc(aborts=0))
+        cand = self.write("cand.json", results_doc(aborts=7))
+        r = run("compare_results.py", base, cand)
+        self.assertEqual(r.returncode, 0, r.stdout)  # warning, not failure
+        self.assertIn("warn: aborts grew", r.stdout)
+        self.assertIn("0 -> 7", r.stdout)
+
+    def test_abort_growth_above_threshold_is_flagged(self):
+        base = self.write("base.json", results_doc(aborts=10))
+        cand = self.write("cand.json", results_doc(aborts=100))
+        r = run("compare_results.py", base, cand)
+        self.assertIn("warn: aborts grew", r.stdout)
+
+    def test_self_comparison_is_clean(self):
+        base = self.write("base.json", results_doc(aborts=3))
+        r = run("compare_results.py", base, base)
+        self.assertEqual(r.returncode, 0, r.stdout)
+        self.assertNotIn("warn", r.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -9,10 +9,15 @@
 
 #include "fault/harness.h"
 #include "ptm/redo_log.h"
+#include "sim/engine.h"
 
 namespace fault {
 
 namespace {
+
+// Epoch schedules run the workload on this many concurrent DES workers so
+// that full-size epochs actually form (epoch_max_txs below matches it).
+constexpr int kEpochWorkers = 3;
 
 // Small pool so each of the thousands of schedules is cheap; the layout
 // still exercises overflow-free in-slot logs plus the allocator heap.
@@ -29,6 +34,11 @@ nvm::SystemConfig fuzz_cfg(const ScheduleSpec& spec) {
   cfg.log_mirror = spec.mirror;
   cfg.l3_bytes = 1ull << 20;
   cfg.dram_cache_bytes = 2ull << 20;
+  if (spec.epoch) {
+    cfg.epoch_commit = true;
+    cfg.epoch_max_txs = kEpochWorkers;  // one full batch per concurrent round
+    cfg.epoch_max_ns = 20000;           // age-close stragglers and tail epochs
+  }
   return cfg;
 }
 
@@ -68,11 +78,11 @@ std::string describe(const ScheduleSpec& s) {
   char buf[192];
   std::snprintf(buf, sizeof(buf),
                 "%s/%s/%s wl_seed=%" PRIu64 " events=%" PRIu64 " crash_seed=%" PRIu64
-                " adversary=%s torn=%d media=%d mirror=%d",
+                " adversary=%s torn=%d media=%d mirror=%d epoch=%d",
                 ptm::algo_suffix(s.algo), nvm::domain_name(s.domain),
                 workload_name(s.workload), s.wl_seed, s.arm_events, s.crash_seed,
                 adversary_name(s.adversary), s.torn_stores ? 1 : 0,
-                s.media_fault ? 1 : 0, s.mirror ? 1 : 0);
+                s.media_fault ? 1 : 0, s.mirror ? 1 : 0, s.epoch ? 1 : 0);
   return std::string(buf);
 }
 
@@ -83,11 +93,11 @@ std::string repro_command(const ScheduleSpec& s) {
   std::snprintf(buf, sizeof(buf),
                 "crashfuzz --one --algo %s --domain %s --workload %s --wl-seed %" PRIu64
                 " --events %" PRIu64 " --crash-seed %" PRIu64
-                " --adversary %s --torn %d --media %d --mirror %d",
+                " --adversary %s --torn %d --media %d --mirror %d --epoch %d",
                 ptm::algo_suffix(s.algo), nvm::domain_name(s.domain),
                 workload_name(s.workload), s.wl_seed, s.arm_events, s.crash_seed,
                 adversary_name(s.adversary), s.torn_stores ? 1 : 0,
-                s.media_fault ? 1 : 0, s.mirror ? 1 : 0);
+                s.media_fault ? 1 : 0, s.mirror ? 1 : 0, s.epoch ? 1 : 0);
   return std::string(buf);
 }
 
@@ -118,33 +128,56 @@ bool run_schedule(const ScheduleSpec& spec, std::string* why, uint64_t* events_o
   }
   h.seal_initial_state();
 
+  // Per-transaction bodies, shared by the sequential and the epoch
+  // (concurrent DES) execution modes below.
+  auto bank_tx = [&](sim::ExecContext& tctx, util::Rng& rng) {
+    const uint64_t a = rng.next_bounded(kAccounts);
+    const uint64_t b = (a + 1 + rng.next_bounded(kAccounts - 1)) % kAccounts;
+    h.rt.run(tctx, [&](ptm::Tx& tx) {
+      const uint64_t fa = tx.read(&bank->bal[a]);
+      const uint64_t fb = tx.read(&bank->bal[b]);
+      const uint64_t amt = fa > 7 ? 7 : fa;
+      tx.write(&bank->bal[a], fa - amt);
+      tx.write(&bank->bal[b], fb + amt);
+    });
+  };
+  auto churn_tx = [&](sim::ExecContext& tctx, util::Rng& rng) {
+    const uint64_t s = rng.next_bounded(kSlots);
+    const uint64_t sz = 16 + rng.next_bounded(100);
+    h.rt.run(tctx, [&](ptm::Tx& tx) {
+      const uint64_t old = tx.read(&churn->slots[s]);
+      if (old != 0) tx.dealloc(reinterpret_cast<void*>(old));
+      void* blk = tx.alloc(sz);
+      tx.write(&churn->slots[s], reinterpret_cast<uint64_t>(blk));
+    });
+  };
+
   // Run until the armed crash (or to completion on a dry run).
   const uint64_t arm = spec.arm_events != 0 ? spec.arm_events : ~0ull;
   const uint64_t events_before = h.pool.mem().persistence_events();
   const bool crashed = h.run_until_crash(arm, spec.crash_seed, [&] {
-    if (spec.workload == 0) {
-      for (int t = 0; t < kBankTxs; t++) {
-        const uint64_t a = wl_rng.next_bounded(kAccounts);
-        const uint64_t b = (a + 1 + wl_rng.next_bounded(kAccounts - 1)) % kAccounts;
-        h.rt.run(ctx, [&](ptm::Tx& tx) {
-          const uint64_t fa = tx.read(&bank->bal[a]);
-          const uint64_t fb = tx.read(&bank->bal[b]);
-          const uint64_t amt = fa > 7 ? 7 : fa;
-          tx.write(&bank->bal[a], fa - amt);
-          tx.write(&bank->bal[b], fb + amt);
-        });
-      }
+    if (spec.epoch) {
+      // Epoch mode: the same transaction budget, split across concurrent
+      // DES workers so full-size epochs form and the armed crash can land
+      // with several members between publish and ack. The engine runs
+      // every fiber to completion before rethrowing the first CrashPoint
+      // (frozen memory kills the rest at their next persistence event, and
+      // EpochManager marks stranded members kCrashed), so the harness
+      // still sees exactly one CrashPoint for the whole group.
+      sim::Engine engine(kEpochWorkers);
+      const int txs = (spec.workload == 0 ? kBankTxs : kChurnTxs) / kEpochWorkers;
+      engine.run([&](sim::ExecContext& wctx) {
+        util::Rng rng(spec.wl_seed * 2654435761ull + 7 +
+                      0x9e3779b9ull * static_cast<uint64_t>(wctx.worker_id() + 1));
+        for (int t = 0; t < txs; t++) {
+          if (spec.workload == 0) bank_tx(wctx, rng);
+          else churn_tx(wctx, rng);
+        }
+      });
+    } else if (spec.workload == 0) {
+      for (int t = 0; t < kBankTxs; t++) bank_tx(ctx, wl_rng);
     } else {
-      for (int t = 0; t < kChurnTxs; t++) {
-        const uint64_t s = wl_rng.next_bounded(kSlots);
-        const uint64_t sz = 16 + wl_rng.next_bounded(100);
-        h.rt.run(ctx, [&](ptm::Tx& tx) {
-          const uint64_t old = tx.read(&churn->slots[s]);
-          if (old != 0) tx.dealloc(reinterpret_cast<void*>(old));
-          void* blk = tx.alloc(sz);
-          tx.write(&churn->slots[s], reinterpret_cast<uint64_t>(blk));
-        });
-      }
+      for (int t = 0; t < kChurnTxs; t++) churn_tx(ctx, wl_rng);
     }
   });
   if (events_out) {
@@ -319,6 +352,7 @@ int run_crashfuzz(const FuzzOptions& opt) {
         s.wl_seed = 11;
         s.arm_events = 0;
         s.mirror = opt.mirror;
+        s.epoch = opt.epoch;
         uint64_t total = 0;
         if (!check(s, &total)) continue;
         totals[{static_cast<int>(algo), static_cast<int>(domain), wl}] = total;
@@ -352,6 +386,7 @@ int run_crashfuzz(const FuzzOptions& opt) {
         s.workload = 0;
         s.media_fault = true;
         s.mirror = opt.mirror;
+        s.epoch = opt.epoch;
         if (i == 3) {
           s.wl_seed = 29;
           s.arm_events = 0;    // no crash: poison strikes a quiesced pool
@@ -390,6 +425,7 @@ int run_crashfuzz(const FuzzOptions& opt) {
     s.domain = domains[rng.next_bounded(domains.size())];
     s.workload = workloads[rng.next_bounded(workloads.size())];
     s.mirror = opt.mirror;
+    s.epoch = opt.epoch;
     s.adversary = static_cast<nvm::WritebackAdversary>(rng.next_bounded(5));
     s.wl_seed = 1 + rng.next_bounded(1ull << 30);
     s.crash_seed = 1 + rng.next_bounded(1ull << 30);

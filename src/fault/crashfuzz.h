@@ -33,6 +33,10 @@ struct ScheduleSpec {
   bool mirror = false;       // run with SystemConfig::log_mirror on; media
                              // trials then target a mirrored line (header or
                              // first log line) and are gated on zero loss
+  bool epoch = false;        // group-commit mode: the workload runs on three
+                             // concurrent DES workers publishing into size-3
+                             // epochs, so a crash can land mid-epoch with
+                             // several members between publish and ack
 };
 
 /// The exact `crashfuzz --one ...` invocation that replays `spec`.
@@ -58,6 +62,8 @@ struct FuzzOptions {
   bool mirror = false;      // run the whole suite with log mirroring on;
                             // gates every schedule on records_lost == 0 and
                             // the media trials on nonzero records_repaired
+  bool epoch = false;       // run the whole suite in group-commit mode (see
+                            // ScheduleSpec::epoch)
 };
 
 /// Deterministic sweeps + media-fault trials + randomized exploration.

@@ -2,15 +2,18 @@
 //
 //   crashfuzz [--schedules N] [--sweep N] [--seed S] [--algo R|U]
 //             [--domain ADR|eADR|PDRAM|PDRAM-Lite] [--workload bank|churn]
-//             [--mirror 0|1] [--verbose]
+//             [--mirror 0|1] [--epoch 0|1] [--verbose]
 //       Deterministic event sweeps + media-fault trials + N randomized
 //       schedules across the selected matrix. Exit code = failure count.
 //       With --mirror 1 every schedule runs with log mirroring on, gated
 //       on zero lost records; media trials must demonstrate repairs.
+//       With --epoch 1 every schedule runs in group-commit mode: three
+//       concurrent DES workers publish into size-3 epochs, so crashes
+//       land mid-epoch with members between publish and ack.
 //
 //   crashfuzz --one --algo R --domain ADR --workload bank --wl-seed S
 //             --events K --crash-seed S [--adversary NAME] [--torn 0|1]
-//             [--media 0|1] [--mirror 0|1]
+//             [--media 0|1] [--mirror 0|1] [--epoch 0|1]
 //       Replay a single schedule (the repro line printed on failure).
 #include <cstdio>
 #include <cstdlib>
@@ -116,6 +119,9 @@ int main(int argc, char** argv) {
     } else if (a == "--mirror" && (v = next())) {
       spec.mirror = std::atoi(v) != 0;
       opt.mirror = spec.mirror;
+    } else if (a == "--epoch" && (v = next())) {
+      spec.epoch = std::atoi(v) != 0;
+      opt.epoch = spec.epoch;
     } else {
       return usage();
     }

@@ -111,6 +111,23 @@ struct SystemConfig {
   /// Behaviour when recovery meets damage it cannot repair.
   RecoveryPolicy recovery_policy = RecoveryPolicy::kSalvage;
 
+  /// Group/epoch commit (ptm::EpochManager): committing workers publish
+  /// their sealed-but-unmarked logs to a per-runtime queue and a leader-
+  /// elected committer persists every member's log under one flush window,
+  /// issues a single fence, and flips all COMMITTED statuses together —
+  /// the per-transaction ordering points become per-epoch ones. Opt-in
+  /// like psan/devstats/mirror; REPRO_EPOCH=1 forces it on regardless of
+  /// this flag. Durability semantics are unchanged: commit() only returns
+  /// once the caller's transaction is durably marked.
+  bool epoch_commit = false;
+
+  /// Epoch close triggers: an epoch is drained as soon as `epoch_max_txs`
+  /// members are queued, or when the oldest queued member has waited
+  /// `epoch_max_ns` simulated nanoseconds (so a lone worker degrades to
+  /// epochs of one instead of stalling).
+  size_t epoch_max_txs = 8;
+  uint64_t epoch_max_ns = 4000;
+
   CostModel cost;
 
   // Modelled hierarchy geometry.

@@ -1,0 +1,117 @@
+// Group/epoch commit (SystemConfig::epoch_commit): amortize the per-
+// transaction persistence ordering points across a batch of committers.
+//
+// Per-transaction commit pays its fences alone — redo: log-seal fence,
+// (mirror fence,) status fence; undo: the commit-time dirty-flush and
+// status fences — which the paper identifies as the dominant persistence
+// cost on Optane under ADR. In epoch mode a committing worker instead
+// *publishes* its sealed-but-unmarked log to a per-runtime queue and
+// waits; a leader elected among the waiters drains the queue and persists
+// every member's payload under shared fence batches:
+//
+//   A. flush every member's log records + slot header (redo) or dirty
+//      data lines (undo), then ONE sfence for the whole batch;
+//   B. (log_mirror only) store + flush every member's mirror COMMITTED
+//      header, then ONE sfence — the replica commit marks keep their own
+//      fence-delimited batch, after the payload fence and before the
+//      primary seals, exactly as in per-transaction mode;
+//   C. store + flush every member's primary COMMITTED status, then ONE
+//      sfence. Durable commit point for the whole epoch.
+//
+// Durability acks are delivered on epoch close: commit() still only
+// returns once the caller's transaction is durably marked, so the API
+// contract is unchanged — only the latency/throughput tradeoff moves.
+// An epoch closes when `epoch_max_txs` members are queued or when the
+// oldest member has waited `epoch_max_ns` simulated nanoseconds (a lone
+// worker degrades to epochs of one instead of stalling forever).
+//
+// DES discipline: waiting members charge simulated time via their own
+// ExecContext (never block on OS primitives), and the leader issues every
+// flush/fence through its *own* context so the batch drains the leader's
+// WPQ — members only stored. If a drain hits a crash point mid-epoch the
+// leader marks the whole batch crashed and rethrows; unacked members
+// observe the mark and propagate nvm::CrashPoint without touching frozen
+// memory, so no fiber hangs. Recovery needs no epoch-specific logic:
+// acked members are durably COMMITTED (replayed), unacked members still
+// show IDLE/ACTIVE logs that replay or roll back exactly like
+// per-transaction crashes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sim/context.h"
+#include "stats/counters.h"
+
+namespace ptm {
+
+class Tx;
+
+class EpochManager {
+ public:
+  EpochManager(size_t max_txs, uint64_t max_ns, int max_workers)
+      : max_txs_(max_txs == 0 ? 1 : max_txs),
+        max_ns_(max_ns == 0 ? 1 : max_ns),
+        members_(new Member[static_cast<size_t>(max_workers)]) {}
+
+  /// REPRO_EPOCH=1 forces epoch commit on for every runtime, like
+  /// REPRO_PSAN for the sanitizer (first call caches the lookup).
+  static bool env_enabled();
+
+  /// Commit `tx` through the epoch machinery: publish the sealed slot,
+  /// wait (or lead) until the epoch containing it closes durably. On
+  /// return the transaction's COMMITTED status is durable; the caller
+  /// still owns write-back/retire/unlock. Throws nvm::CrashPoint when a
+  /// crash froze the pool before this member's epoch could close.
+  void commit(Tx& tx);
+
+  /// Drop all volatile epoch state (queue, leadership, member slots).
+  /// Called by Runtime::recover(): a crash abandons every queued member.
+  void reset();
+
+  /// Counters for the REPRO_JSON "epoch" section (enabled is set by the
+  /// runtime when the mode is active).
+  stats::EpochStats snapshot() const;
+
+ private:
+  enum class MemberState : uint8_t {
+    kQueued = 0,  // published, waiting for a leader
+    kAcked,       // epoch closed durably; member may finish its commit
+    kCrashed,     // drain hit a crash point; member must propagate it
+  };
+
+  struct Member {
+    Tx* tx = nullptr;
+    uint64_t publish_ns = 0;
+    std::atomic<MemberState> state{MemberState::kQueued};
+  };
+
+  /// Drain every queued member as one epoch (caller holds leadership).
+  /// `why_size` records whether the size or the age trigger closed it.
+  void drain(Tx& leader, bool why_size);
+
+  size_t max_txs_;
+  uint64_t max_ns_;
+
+  // One member record per worker, reused across that worker's commits (a
+  // worker has at most one published commit in flight).
+  std::unique_ptr<Member[]> members_;
+
+  // Queue of published members. The mutex guards the vector and the
+  // mirror count; member state transitions are atomic so waiters poll
+  // without the lock. Real-thread safe for the unit/TSan suites;
+  // uncontended under the single-OS-thread DES engine.
+  mutable std::mutex mu_;
+  std::vector<Member*> queue_;
+  std::atomic<size_t> queued_{0};
+  std::atomic<bool> leader_busy_{false};
+
+  // Stats are leader-written under leadership (single writer at a time);
+  // snapshot() is called quiescently by the driver after workers join.
+  stats::EpochStats stats_;
+};
+
+}  // namespace ptm

@@ -122,6 +122,14 @@ void Tx::eager_commit() {
     if (!validate_read_set()) abort_tx(stats::AbortCause::kValidation);
   }
 
+  // Epoch mode: the undo records and ACTIVE header are durable already
+  // (per-write persists); the commit-time fences — dirty flush, mirror
+  // mark, status flip — move to the group-commit leader. See epoch.h.
+  if (EpochManager* ep = rt_->epochs()) {
+    epoch_eager_publish(*ep, wv);
+    return;
+  }
+
   {
     stats::PhaseTimer ft(*ctx_, &c_->phases, stats::Phase::kFlushDrain);
     analysis::PhaseScope ps(psan_, worker_, stats::Phase::kFlushDrain);

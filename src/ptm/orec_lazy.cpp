@@ -111,6 +111,14 @@ void Tx::lazy_commit() {
     if (!validate_read_set()) abort_tx(stats::AbortCause::kValidation);
   }
 
+  // Epoch mode: hand steps 4's fence sequence to the group-commit leader
+  // (seal with stores only, publish, wait for the durable epoch ack), then
+  // run the same write-back/retire tail. See epoch.h.
+  if (EpochManager* ep = rt_->epochs()) {
+    epoch_lazy_publish(*ep, wv);
+    return;
+  }
+
   {
     // One flush-drain window covers the log persist, the commit record and
     // the write-back flush — the fence-extended region the paper blames for

@@ -51,6 +51,11 @@ stats::RecoveryReport Runtime::recover(sim::ExecContext& ctx) {
   // All speculation state is volatile and died with the crash.
   orecs_.reset();
   degraded_ = stats::DegradedReport{};
+  // The epoch queue is volatile too: every published-but-unacked member
+  // died with its fiber, and its slot's persistent image alone decides its
+  // fate below — exactly the per-transaction crash cases, so the replay
+  // and rollback paths need no epoch-specific logic.
+  if (epochs_) epochs_->reset();
 
   nvm::Memory& mem = pool_.mem();
   stats::TxCounters* c = nullptr;  // recovery is not part of measured runs

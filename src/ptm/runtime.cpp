@@ -9,6 +9,11 @@ Runtime::Runtime(nvm::Pool& pool, Algo algo)
   for (int w = 0; w < pool.config().max_workers; w++) {
     txs_.emplace_back(new Tx(*this, w));
   }
+  if (pool.config().epoch_commit || EpochManager::env_enabled()) {
+    epochs_.reset(new EpochManager(pool.config().epoch_max_txs,
+                                   pool.config().epoch_max_ns,
+                                   pool.config().max_workers));
+  }
   // Safe memory reclamation: before the allocator threads a freed block
   // onto a free list (overwriting its first payload word), advance that
   // word's orec past every active snapshot, so concurrent transactions

@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "ptm/epoch.h"
 #include "ptm/tx.h"
 #include "stats/trace.h"
 
@@ -129,6 +130,10 @@ class Runtime {
   alloc::PersistentAllocator& allocator() { return alloc_; }
   Algo algo() const { return algo_; }
 
+  /// Group-commit machinery; null unless SystemConfig::epoch_commit (or
+  /// REPRO_EPOCH=1) selected the mode when this runtime was built.
+  EpochManager* epochs() const { return epochs_.get(); }
+
   stats::TxCounters& counters(int worker) {
     return counters_[static_cast<size_t>(worker)];
   }
@@ -157,6 +162,7 @@ class Runtime {
   alloc::PersistentAllocator alloc_;
   std::vector<stats::TxCounters> counters_;
   std::vector<std::unique_ptr<Tx>> txs_;
+  std::unique_ptr<EpochManager> epochs_;  // non-null only in epoch mode
   TxObserver* observer_ = nullptr;
   stats::DegradedReport degraded_;  // reset at the top of every recover()
 };

@@ -344,10 +344,17 @@ void Tx::persist_slot_header() {
 }
 
 void Tx::persist_log_range(size_t first_entry, size_t n_entries) {
+  persist_log_range_via(*ctx_, c_, first_entry, n_entries);
+}
+
+void Tx::persist_log_range_via(sim::ExecContext& ctx, stats::TxCounters* c,
+                               size_t first_entry, size_t n_entries) {
   nvm::Memory& mem = rt_->pool().mem();
   // The linear record range may span the base log and several overflow
   // segments; flush each contiguous run separately. Mirror lines join the
   // same batch so the caller's fence makes both copies durable together.
+  // Parameterized on the issuing context: the epoch leader flushes member
+  // logs through its own WPQ (epoch.cpp).
   auto flush_runs = [&](bool mirror) {
     size_t first = first_entry;
     size_t left = n_entries;
@@ -360,7 +367,7 @@ void Tx::persist_log_range(size_t first_entry, size_t n_entries) {
       for (const char* p = reinterpret_cast<const char*>(
                reinterpret_cast<uintptr_t>(lo) & ~uintptr_t{63});
            p <= hi; p += nvm::Memory::kLineBytes) {
-        mem.clwb(*ctx_, c_, p);
+        mem.clwb(ctx, c, p);
       }
       first += n;
       left -= n;

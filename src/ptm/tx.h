@@ -62,6 +62,7 @@ struct CapacityError : std::runtime_error {
 };
 
 class Runtime;
+class EpochManager;
 
 class Tx {
  public:
@@ -140,6 +141,7 @@ class Tx {
  private:
   friend class Runtime;
   friend class Recovery;
+  friend class EpochManager;
 
   Tx(Runtime& rt, int worker);
 
@@ -179,11 +181,28 @@ class Tx {
   void eager_commit();
   void eager_rollback();
 
+  // epoch/group-commit paths (epoch.cpp). The *_publish methods replace
+  // the per-tx fence sequence on the member's side (seal with stores only,
+  // publish, wait for the durable epoch ack, then write-back/retire). The
+  // leader-side helpers run on a *member* transaction from the epoch
+  // leader's fiber, so they take the leader's context/counters — flush and
+  // fence cost must accrue to the leader's WPQ, never to the parked
+  // member's clock.
+  void epoch_lazy_publish(EpochManager& ep, uint64_t wv);
+  void epoch_eager_publish(EpochManager& ep, uint64_t wv);
+  bool epoch_flush_payload(sim::ExecContext& ctx, stats::TxCounters* c);
+  void epoch_check_payload_persisted();
+  bool epoch_mirror_commit(sim::ExecContext& ctx, stats::TxCounters* c);
+  void epoch_check_mirror_persisted();
+  void epoch_flip_status(sim::ExecContext& ctx, stats::TxCounters* c);
+
   // shared helpers (tx.cpp)
   void append_log(uint64_t off, uint64_t val);
   void append_alloc_word(uint64_t* entry, uint64_t word);
   void persist_slot_header();
   void persist_log_range(size_t first_entry, size_t n_entries);
+  void persist_log_range_via(sim::ExecContext& ctx, stats::TxCounters* c,
+                             size_t first_entry, size_t n_entries);
   void release_owned(uint64_t version_word);
   void cancel_allocs();
   void apply_frees();

@@ -82,6 +82,16 @@ void ScrubStats::add(const ScrubStats& o) {
   skipped_busy += o.skipped_busy;
 }
 
+void EpochStats::add(const EpochStats& o) {
+  enabled = enabled || o.enabled;
+  epochs += o.epochs;
+  member_txs += o.member_txs;
+  closed_by_size += o.closed_by_size;
+  closed_by_age += o.closed_by_age;
+  closed_by_crash += o.closed_by_crash;
+  size.merge(o.size);
+}
+
 void PsanSummary::add(const PsanSummary& o) {
   enabled = enabled || o.enabled;
   events += o.events;

@@ -178,6 +178,28 @@ struct PsanSummary {
   void add(const PsanSummary& o);
 };
 
+/// Group/epoch-commit counters (ptm::EpochManager), one runtime lifetime.
+/// Serialized under the "epoch" key of REPRO_JSON artifacts only when the
+/// mode ran (enabled), keeping default-config output unchanged. The size
+/// histogram is count-valued (members per epoch), not nanoseconds.
+struct EpochStats {
+  bool enabled = false;
+  uint64_t epochs = 0;            // epochs drained (leader drain passes)
+  uint64_t member_txs = 0;        // transactions committed through epochs
+  uint64_t closed_by_size = 0;    // drains triggered by epoch_max_txs
+  uint64_t closed_by_age = 0;     // drains triggered by epoch_max_ns
+  uint64_t closed_by_crash = 0;   // batches abandoned by a mid-drain crash
+  Histogram size;                 // members per drained epoch
+
+  /// Mean members per epoch — the fence-amortization factor.
+  double mean_size() const {
+    return epochs == 0 ? 0.0
+                       : static_cast<double>(member_txs) / static_cast<double>(epochs);
+  }
+
+  void add(const EpochStats& o);
+};
+
 /// Record a phase latency if telemetry is on and a counter sink exists.
 /// The memory model uses this for WPQ-stall / fence-wait events, which are
 /// observed inside nvm::Memory rather than in Tx scope.

@@ -51,6 +51,8 @@ const char* phase_name(Phase p) {
     case Phase::kWpqStall: return "wpq_stall";
     case Phase::kCommit: return "commit";
     case Phase::kAbortBackoff: return "abort_backoff";
+    case Phase::kEpochWait: return "epoch_wait";
+    case Phase::kEpochDrain: return "epoch_drain";
   }
   return "?";
 }

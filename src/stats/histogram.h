@@ -106,8 +106,10 @@ enum class Phase : uint8_t {
   kWpqStall,      // stall on a full WPQ (clwb) or saturated write channel
   kCommit,        // whole successful commit() call
   kAbortBackoff,  // rollback + randomized exponential backoff after abort
+  kEpochWait,     // epoch commit: queued member waiting for its epoch to close
+  kEpochDrain,    // epoch commit: leader draining the epoch queue
 };
-inline constexpr size_t kNumPhases = 10;
+inline constexpr size_t kNumPhases = 12;
 
 const char* phase_name(Phase p);
 

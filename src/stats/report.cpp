@@ -145,6 +145,20 @@ void write_run_result_fields(JsonWriter& w, const RunResult& r) {
     w.end_object();
   }
 
+  if (r.epoch.enabled) {
+    const EpochStats& ep = r.epoch;
+    w.key("epoch").begin_object();
+    w.kv("epochs", ep.epochs);
+    w.kv("member_txs", ep.member_txs);
+    w.kv("mean_size", ep.mean_size());
+    w.kv("closed_by_size", ep.closed_by_size);
+    w.kv("closed_by_age", ep.closed_by_age);
+    w.kv("closed_by_crash", ep.closed_by_crash);
+    w.key("size");
+    write_count_histogram_summary(w, ep.size);
+    w.end_object();
+  }
+
   if (r.device.enabled) {
     w.key("device").begin_object();
     write_device_fields(w, r.device, r.totals.energy_pj);

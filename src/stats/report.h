@@ -61,6 +61,10 @@ struct RunResult {
   // byte-identical to runs built before the sanitizer existed).
   PsanSummary psan;
 
+  // Group/epoch-commit counters (ptm::EpochManager); serialized under an
+  // "epoch" key only when epoch.enabled, like scrub/psan/device.
+  EpochStats epoch;
+
   /// Committed transactions per simulated second.
   double throughput_tx_per_sec() const {
     if (sim_ns == 0) return 0.0;

@@ -92,6 +92,7 @@ stats::RunResult run_point(const WorkloadFactory& factory, const RunPoint& p) {
   r.recovery = recovery;
   r.log_range_drops = pool.mem().log_range_drops();
   if (scrubbing) r.scrub = scrub.stats();
+  if (rt.epochs()) r.epoch = rt.epochs()->snapshot();
   if (analysis::Psan* ps = pool.mem().psan()) r.psan = ps->summary();
   if (pool.mem().devstats()) r.device = pool.mem().device_snapshot(r.sim_ns);
   r.wall_ns = static_cast<uint64_t>(
