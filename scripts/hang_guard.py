@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Run a command under a wall-clock deadline; on overrun, dump a
+post-mortem of the process tree, then escalate SIGABRT -> SIGKILL and
+exit 124 (the coreutils-timeout convention).
+
+Why not `timeout(1)`: a hung DES binary dies silently there — no record
+of where it was stuck. A liveness bug (stuck transaction, watchdog spin,
+epoch drain deadlock) presents as a hang, and the hang is the evidence.
+Before killing, this wrapper writes each process's /proc state (Name,
+State, threads, wchan, and the kernel stack when readable) to stderr, so
+a CI hang leaves something to debug.
+
+Usage: hang_guard.py --timeout SECONDS [--grace SECONDS] -- cmd [args...]
+Exit status: the command's own; 124 on timeout; 125 on usage error.
+Only the standard library is used.
+"""
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import time
+
+
+def proc_tree(root_pid):
+    """The root pid plus every descendant, via /proc/<pid>/task/<tid>/children."""
+    pids, frontier = [], [root_pid]
+    while frontier:
+        pid = frontier.pop()
+        pids.append(pid)
+        task_dir = f"/proc/{pid}/task"
+        try:
+            tids = os.listdir(task_dir)
+        except OSError:
+            continue
+        for tid in tids:
+            try:
+                with open(f"{task_dir}/{tid}/children") as f:
+                    frontier.extend(int(c) for c in f.read().split())
+            except (OSError, ValueError):
+                pass
+    return pids
+
+
+def read_first_line(path):
+    try:
+        with open(path) as f:
+            return f.readline().strip()
+    except OSError:
+        return ""
+
+
+def dump_postmortem(root_pid, out=sys.stderr):
+    """Best-effort /proc snapshot of the hung tree. Every read can race
+    with process exit, so failures are silently skipped."""
+    for pid in proc_tree(root_pid):
+        status = {}
+        try:
+            with open(f"/proc/{pid}/status") as f:
+                for line in f:
+                    k, _, v = line.partition(":")
+                    status[k] = v.strip()
+        except OSError:
+            continue
+        print(
+            f"hang_guard: pid {pid} name={status.get('Name', '?')} "
+            f"state={status.get('State', '?')} threads={status.get('Threads', '?')} "
+            f"wchan={read_first_line(f'/proc/{pid}/wchan') or '?'}",
+            file=out,
+        )
+        # Kernel stack usually needs privileges; print it when we can.
+        try:
+            with open(f"/proc/{pid}/stack") as f:
+                for line in f:
+                    print(f"hang_guard:   {line.rstrip()}", file=out)
+        except OSError:
+            pass
+
+
+def signal_group(pid, sig):
+    try:
+        os.killpg(os.getpgid(pid), sig)
+    except (OSError, ProcessLookupError):
+        pass
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0], usage=argparse.SUPPRESS
+    )
+    ap.add_argument("--timeout", type=float, required=True,
+                    help="wall-clock budget in seconds")
+    ap.add_argument("--grace", type=float, default=5.0,
+                    help="seconds between SIGABRT and SIGKILL")
+    ap.add_argument("cmd", nargs=argparse.REMAINDER,
+                    help="-- command and arguments")
+    try:
+        args = ap.parse_args(argv)
+    except SystemExit:
+        return 125
+    cmd = args.cmd
+    if cmd and cmd[0] == "--":
+        cmd = cmd[1:]
+    if not cmd or args.timeout <= 0:
+        print("hang_guard: usage: hang_guard.py --timeout S [--grace S] -- cmd ...",
+              file=sys.stderr)
+        return 125
+
+    # Own session => own process group, so the whole tree can be signalled
+    # (a DES binary may fork helpers; killing only the leader leaks them).
+    try:
+        child = subprocess.Popen(cmd, start_new_session=True)
+    except OSError as e:
+        print(f"hang_guard: cannot exec {cmd[0]}: {e}", file=sys.stderr)
+        return 125
+    try:
+        return child.wait(timeout=args.timeout)
+    except subprocess.TimeoutExpired:
+        pass
+
+    print(
+        f"hang_guard: TIMEOUT after {args.timeout:g}s: {' '.join(cmd)}",
+        file=sys.stderr,
+    )
+    dump_postmortem(child.pid)
+    # SIGABRT first: a C++ binary gets a chance to dump core / flush
+    # sanitizer reports; SIGKILL finishes whatever ignored it.
+    signal_group(child.pid, signal.SIGABRT)
+    deadline = time.monotonic() + max(args.grace, 0.0)
+    while time.monotonic() < deadline:
+        if child.poll() is not None:
+            break
+        time.sleep(0.05)
+    signal_group(child.pid, signal.SIGKILL)
+    try:
+        child.wait(timeout=10)
+    except subprocess.TimeoutExpired:
+        pass
+    return 124
+
+
+if __name__ == "__main__":
+    sys.exit(main())

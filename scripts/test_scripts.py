@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
-"""Self-tests for the perf-gate scripts (bench_trajectory.py and
-compare_results.py), run in CI so the gates themselves are gated.
+"""Self-tests for the CI gate scripts (bench_trajectory.py,
+compare_results.py, hang_guard.py), run in CI so the gates themselves
+are gated.
 
 The cases pin the failure modes that once let the gates pass vacuously:
 zero wall_ns / zero sim-events rates silently reporting 0.0 instead of
-erroring, the abort check never firing from a zero baseline, and
-cross-machine trajectory comparisons being treated as regressions.
+erroring, the abort check never firing from a zero baseline,
+cross-machine trajectory comparisons being treated as regressions, and
+the hang guard passing exit codes through / reliably killing a hung
+process tree with the post-mortem on stderr.
 
 Usage: python3 scripts/test_scripts.py   (exit 0 = all pass)
 Only the standard library is used.
@@ -16,6 +19,7 @@ import os
 import subprocess
 import sys
 import tempfile
+import time
 import unittest
 
 SCRIPTS = os.path.dirname(os.path.abspath(__file__))
@@ -163,6 +167,68 @@ class CompareTrajectoryTest(TempDirTest):
         r = run("compare_results.py", "--trajectory", base, cand,
                 "--threshold", "10")
         self.assertEqual(r.returncode, 0, r.stdout)
+
+
+class HangGuardTest(TempDirTest):
+    def test_fast_command_passes_exit_code_through(self):
+        r = run("hang_guard.py", "--timeout", "30", "--",
+                sys.executable, "-c", "import sys; sys.exit(3)")
+        self.assertEqual(r.returncode, 3, r.stderr)
+        self.assertNotIn("TIMEOUT", r.stderr)
+
+    def test_success_is_silent(self):
+        r = run("hang_guard.py", "--timeout", "30", "--",
+                sys.executable, "-c", "print('ok')")
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("ok", r.stdout)
+
+    def test_hang_exits_124_with_postmortem(self):
+        r = run("hang_guard.py", "--timeout", "1", "--grace", "0.2", "--",
+                sys.executable, "-c", "import time; time.sleep(600)")
+        self.assertEqual(r.returncode, 124, r.stderr)
+        self.assertIn("TIMEOUT", r.stderr)
+        # The post-mortem names at least the hung process itself.
+        self.assertIn("hang_guard: pid", r.stderr)
+        self.assertIn("state=", r.stderr)
+
+    def test_kills_the_whole_process_group(self):
+        # The child forks a grandchild that writes a marker AFTER the
+        # guard's deadline; if only the leader died, the marker appears.
+        marker = os.path.join(self.dir, "leaked")
+        prog = (
+            "import os, time, sys\n"
+            "if os.fork() == 0:\n"
+            "    time.sleep(4)\n"
+            f"    open({marker!r}, 'w').close()\n"
+            "    sys.exit(0)\n"
+            "time.sleep(600)\n"
+        )
+        r = run("hang_guard.py", "--timeout", "1", "--grace", "0.2", "--",
+                sys.executable, "-c", prog)
+        self.assertEqual(r.returncode, 124, r.stderr)
+        time.sleep(4.5)
+        self.assertFalse(os.path.exists(marker), "grandchild survived the kill")
+
+    def test_sigabrt_grace_allows_clean_shutdown(self):
+        # A child that exits 7 on SIGABRT must be reaped during the grace
+        # window; the guard still reports the timeout as 124.
+        prog = (
+            "import signal, sys, time\n"
+            "signal.signal(signal.SIGABRT, lambda *a: sys.exit(7))\n"
+            "time.sleep(600)\n"
+        )
+        r = run("hang_guard.py", "--timeout", "1", "--grace", "5", "--",
+                sys.executable, "-c", prog)
+        self.assertEqual(r.returncode, 124, r.stderr)
+
+    def test_usage_errors_exit_125(self):
+        r = run("hang_guard.py", "--timeout", "5", "--")
+        self.assertEqual(r.returncode, 125)
+        r = run("hang_guard.py", "--timeout", "0", "--", "true")
+        self.assertEqual(r.returncode, 125)
+        r = run("hang_guard.py", "--timeout", "5", "--",
+                os.path.join(self.dir, "no-such-binary"))
+        self.assertEqual(r.returncode, 125)
 
 
 class CompareResultsTest(TempDirTest):

@@ -1,6 +1,7 @@
 #include "fault/crashfuzz.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cinttypes>
 #include <cstdio>
 #include <map>
@@ -8,7 +9,9 @@
 #include <vector>
 
 #include "fault/harness.h"
+#include "ptm/containment.h"
 #include "ptm/redo_log.h"
+#include "ptm/watchdog.h"
 #include "sim/engine.h"
 
 namespace fault {
@@ -17,7 +20,20 @@ namespace {
 
 // Epoch schedules run the workload on this many concurrent DES workers so
 // that full-size epochs actually form (epoch_max_txs below matches it).
+// Kill schedules use the same worker count (faults need survivors to do
+// the reclaiming) plus one watchdog fiber on the spare id.
 constexpr int kEpochWorkers = 3;
+
+// Containment knobs for kill schedules. The lease must outlive any single
+// charged operation (so a slow-but-live worker's beat always lands in
+// time) yet expire well inside a schedule, and the watchdog patrols a few
+// times per lease. The harmless stall resumes inside the lease; the
+// zombie stall parks its victim far past it, guaranteeing reclamation
+// fences the sleeper before it wakes.
+constexpr uint64_t kKillTimeoutNs = 20000;
+constexpr uint64_t kKillWatchdogNs = 5000;
+constexpr uint64_t kStallHarmlessNs = kKillTimeoutNs / 2;
+constexpr uint64_t kStallZombieNs = 4 * kKillTimeoutNs;
 
 // Small pool so each of the thousands of schedules is cheap; the layout
 // still exercises overflow-free in-slot logs plus the allocator heap.
@@ -38,6 +54,9 @@ nvm::SystemConfig fuzz_cfg(const ScheduleSpec& spec) {
     cfg.epoch_commit = true;
     cfg.epoch_max_txs = kEpochWorkers;  // one full batch per concurrent round
     cfg.epoch_max_ns = 20000;           // age-close stragglers and tail epochs
+  }
+  if (spec.kill) {
+    cfg.tx_timeout_ns = kKillTimeoutNs;  // turn containment on
   }
   return cfg;
 }
@@ -75,29 +94,34 @@ const char* adversary_name(nvm::WritebackAdversary a) {
 const char* workload_name(int w) { return w == 0 ? "bank" : "churn"; }
 
 std::string describe(const ScheduleSpec& s) {
-  char buf[192];
+  char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "%s/%s/%s wl_seed=%" PRIu64 " events=%" PRIu64 " crash_seed=%" PRIu64
-                " adversary=%s torn=%d media=%d mirror=%d epoch=%d",
+                " adversary=%s torn=%d media=%d mirror=%d epoch=%d kill=%d"
+                " kill_events=%" PRIu64 " kill2_events=%" PRIu64 " stall_ns=%" PRIu64,
                 ptm::algo_suffix(s.algo), nvm::domain_name(s.domain),
                 workload_name(s.workload), s.wl_seed, s.arm_events, s.crash_seed,
                 adversary_name(s.adversary), s.torn_stores ? 1 : 0,
-                s.media_fault ? 1 : 0, s.mirror ? 1 : 0, s.epoch ? 1 : 0);
+                s.media_fault ? 1 : 0, s.mirror ? 1 : 0, s.epoch ? 1 : 0,
+                s.kill ? 1 : 0, s.kill_events, s.kill2_events, s.stall_ns);
   return std::string(buf);
 }
 
 }  // namespace
 
 std::string repro_command(const ScheduleSpec& s) {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
                 "crashfuzz --one --algo %s --domain %s --workload %s --wl-seed %" PRIu64
                 " --events %" PRIu64 " --crash-seed %" PRIu64
-                " --adversary %s --torn %d --media %d --mirror %d --epoch %d",
+                " --adversary %s --torn %d --media %d --mirror %d --epoch %d"
+                " --kill %d --kill-events %" PRIu64 " --kill2-events %" PRIu64
+                " --stall-ns %" PRIu64,
                 ptm::algo_suffix(s.algo), nvm::domain_name(s.domain),
                 workload_name(s.workload), s.wl_seed, s.arm_events, s.crash_seed,
                 adversary_name(s.adversary), s.torn_stores ? 1 : 0,
-                s.media_fault ? 1 : 0, s.mirror ? 1 : 0, s.epoch ? 1 : 0);
+                s.media_fault ? 1 : 0, s.mirror ? 1 : 0, s.epoch ? 1 : 0,
+                s.kill ? 1 : 0, s.kill_events, s.kill2_events, s.stall_ns);
   return std::string(buf);
 }
 
@@ -152,28 +176,63 @@ bool run_schedule(const ScheduleSpec& spec, std::string* why, uint64_t* events_o
     });
   };
 
-  // Run until the armed crash (or to completion on a dry run).
+  // Run until the armed crash (or to completion on a dry run). Kill
+  // schedules arm fiber faults on the same shared event counter.
+  if (spec.kill && spec.kill_events != 0) {
+    h.pool.mem().arm_thread_fault(spec.kill_events, spec.stall_ns);
+  }
+  if (spec.kill && spec.kill2_events != 0) {
+    h.pool.mem().arm_thread_fault(spec.kill2_events);
+  }
   const uint64_t arm = spec.arm_events != 0 ? spec.arm_events : ~0ull;
   const uint64_t events_before = h.pool.mem().persistence_events();
+  uint64_t kill_sim_end = 0;
   const bool crashed = h.run_until_crash(arm, spec.crash_seed, [&] {
-    if (spec.epoch) {
-      // Epoch mode: the same transaction budget, split across concurrent
-      // DES workers so full-size epochs form and the armed crash can land
-      // with several members between publish and ack. The engine runs
-      // every fiber to completion before rethrowing the first CrashPoint
-      // (frozen memory kills the rest at their next persistence event, and
-      // EpochManager marks stranded members kCrashed), so the harness
-      // still sees exactly one CrashPoint for the whole group.
-      sim::Engine engine(kEpochWorkers);
+    if (spec.epoch || spec.kill) {
+      // Concurrent mode: the same transaction budget, split across DES
+      // workers — epoch schedules need full-size epochs to form; kill
+      // schedules need survivors to trip over a victim's locks and
+      // reclaim them. The engine runs every fiber to completion before
+      // rethrowing the first CrashPoint (frozen memory kills the rest at
+      // their next persistence event, and EpochManager marks stranded
+      // members kCrashed), so the harness still sees exactly one
+      // CrashPoint for the whole group. With spec.kill an extra watchdog
+      // fiber patrols on the spare worker id; per-worker FiberKills are
+      // contained right here — the dead fiber just stops.
+      const bool dog_fiber = spec.kill;
+      sim::Engine engine(dog_fiber ? kEpochWorkers + 1 : kEpochWorkers);
+      std::atomic<int> active{kEpochWorkers};
+      ptm::Watchdog watchdog(h.rt);
       const int txs = (spec.workload == 0 ? kBankTxs : kChurnTxs) / kEpochWorkers;
       engine.run([&](sim::ExecContext& wctx) {
+        if (dog_fiber && wctx.worker_id() == kEpochWorkers) {
+          while (active.load(std::memory_order_acquire) > 0) {
+            watchdog.run_pass(wctx);
+            if (active.load(std::memory_order_acquire) <= 0) break;
+            wctx.advance(kKillWatchdogNs);
+          }
+          return;
+        }
+        // Decrement on ANY exit — normal completion, FiberKill, or a
+        // CrashPoint unwinding — or the watchdog fiber never terminates.
+        struct ActiveGuard {
+          std::atomic<int>& a;
+          ~ActiveGuard() { a.fetch_sub(1, std::memory_order_acq_rel); }
+        } guard{active};
         util::Rng rng(spec.wl_seed * 2654435761ull + 7 +
                       0x9e3779b9ull * static_cast<uint64_t>(wctx.worker_id() + 1));
-        for (int t = 0; t < txs; t++) {
-          if (spec.workload == 0) bank_tx(wctx, rng);
-          else churn_tx(wctx, rng);
+        try {
+          for (int t = 0; t < txs; t++) {
+            if (spec.workload == 0) bank_tx(wctx, rng);
+            else churn_tx(wctx, rng);
+          }
+        } catch (const nvm::FiberKill&) {
+          // This worker is dead. Its speculative debris (locked orecs,
+          // mid-flight log slot) stays for containment to reclaim;
+          // survivors and the watchdog keep running.
         }
       });
+      kill_sim_end = engine.elapsed_ns();
     } else if (spec.workload == 0) {
       for (int t = 0; t < kBankTxs; t++) bank_tx(ctx, wl_rng);
     } else {
@@ -183,10 +242,35 @@ bool run_schedule(const ScheduleSpec& spec, std::string* why, uint64_t* events_o
   if (events_out) {
     *events_out = h.pool.mem().persistence_events() - events_before;
   }
+  // Disarm leftover fiber faults before any verification/recovery code
+  // issues persistence events of its own.
+  if (spec.kill) h.pool.mem().clear_thread_faults();
   if (spec.arm_events != 0 && !crashed) {
     // Armed past the end of the run: nothing to check (sweep callers
     // bound arm_events by the dry-run total, so this is not a failure).
     return true;
+  }
+
+  if (spec.kill && !crashed) {
+    // Online containment verdict, before any power failure: let a sweep
+    // from a fresh context — advanced past every possible lease expiry —
+    // reclaim whatever the kills left behind, then hold the DRAM-visible
+    // heap to the durable-linearizability contract. Every killed victim
+    // must be resolved all-or-nothing ON LINE (completed forward if its
+    // commit record sealed, rolled back otherwise) with its orecs free;
+    // un-killed workers' transactions all committed normally.
+    if (ptm::ContainmentManager* cm = h.rt.containment()) {
+      sim::RealContext vctx(kEpochWorkers, cfg.max_workers);
+      vctx.advance(kill_sim_end + 2 * kKillTimeoutNs + 1);
+      cm->sweep(vctx, nullptr);
+      const Oracle::Result ores = h.verify();
+      if (!ores.ok) {
+        return fail("online containment oracle: " + ores.detail);
+      }
+      // Lift the quarantine so the invariant checks (and the power-fail
+      // recovery below) can reuse the killed workers' descriptors.
+      cm->revive_all();
+    }
   }
 
   if (spec.media_fault) {
@@ -339,8 +423,11 @@ int run_crashfuzz(const FuzzOptions& opt) {
   // Phase 1: deterministic sweep. One dry run per configuration measures
   // the schedule's persistence-event count E; then every event in
   // [1, sweep] and every stride-th event after that becomes a crash
-  // point. Identical wl_seed per configuration keeps the execution prefix
-  // fixed while the crash point moves.
+  // point — or, with --kill, a fiber-kill point (no power failure: the
+  // survivors and the watchdog must resolve the victim ON LINE and the
+  // heap must verify without any recovery pass). Identical wl_seed per
+  // configuration keeps the execution prefix fixed while the fault point
+  // moves.
   std::map<std::tuple<int, int, int>, uint64_t> totals;
   for (ptm::Algo algo : algos) {
     for (nvm::Domain domain : domains) {
@@ -353,6 +440,7 @@ int run_crashfuzz(const FuzzOptions& opt) {
         s.arm_events = 0;
         s.mirror = opt.mirror;
         s.epoch = opt.epoch;
+        s.kill = opt.kill;
         uint64_t total = 0;
         if (!check(s, &total)) continue;
         totals[{static_cast<int>(algo), static_cast<int>(domain), wl}] = total;
@@ -363,7 +451,12 @@ int run_crashfuzz(const FuzzOptions& opt) {
         const uint64_t stride = std::max<uint64_t>(1, total / 16);
         for (uint64_t k = 1; k <= total; k++) {
           if (k > static_cast<uint64_t>(opt.sweep) && k % stride != 0) continue;
-          s.arm_events = k;
+          if (opt.kill) {
+            s.kill_events = k;
+            s.arm_events = 0;
+          } else {
+            s.arm_events = k;
+          }
           s.crash_seed = 1000 + k;
           check(s);
         }
@@ -387,6 +480,7 @@ int run_crashfuzz(const FuzzOptions& opt) {
         s.media_fault = true;
         s.mirror = opt.mirror;
         s.epoch = opt.epoch;
+        s.kill = opt.kill;  // containment on, but no fiber fault armed
         if (i == 3) {
           s.wl_seed = 29;
           s.arm_events = 0;    // no crash: poison strikes a quiesced pool
@@ -417,7 +511,14 @@ int run_crashfuzz(const FuzzOptions& opt) {
                  "(records_repaired == 0 across phase 1b)\n");
   }
 
-  // Phase 2: randomized exploration, fully replayable from --seed.
+  // Phase 2: randomized exploration, fully replayable from --seed. With
+  // --kill every schedule carries a fiber fault: 25% arm a second fault
+  // (which can strike the reclaimer mid-reclamation, or the takeover
+  // leader mid-drain), 25% stall instead of kill (half harmless — the
+  // worker resumes inside its lease — half zombie: parked far past it, so
+  // reclamation must fence the sleeper), and half of all kill schedules
+  // ALSO arm a power failure on top, crossing online reclamation with
+  // crash recovery at every relative position the rng finds.
   util::Rng rng(opt.seed * 1000003ull + 17);
   for (int i = 0; i < opt.schedules; i++) {
     ScheduleSpec s;
@@ -436,6 +537,17 @@ int run_crashfuzz(const FuzzOptions& opt) {
     // seed; arming past the actual end just yields a crash-free pass.
     const uint64_t scale = it != totals.end() ? it->second : 2000;
     s.arm_events = 1 + rng.next_bounded(scale);
+    if (opt.kill) {
+      s.kill = true;
+      s.kill_events = 1 + rng.next_bounded(scale);
+      const uint64_t mode = rng.next_bounded(4);
+      if (mode == 0) {
+        s.kill2_events = 1 + rng.next_bounded(scale);
+      } else if (mode == 1) {
+        s.stall_ns = rng.next_bounded(2) != 0 ? kStallZombieNs : kStallHarmlessNs;
+      }
+      if (rng.next_bounded(2) == 0) s.arm_events = 0;  // kills only, no crash
+    }
     check(s);
     if (opt.verbose && (i + 1) % 100 == 0) {
       std::printf("randomized: %d/%d (failures so far: %d)\n", i + 1, opt.schedules,

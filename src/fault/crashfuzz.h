@@ -37,6 +37,18 @@ struct ScheduleSpec {
                              // concurrent DES workers publishing into size-3
                              // epochs, so a crash can land mid-epoch with
                              // several members between publish and ack
+  bool kill = false;         // thread-crash containment mode: concurrent DES
+                             // workers with orec leases + a watchdog fiber;
+                             // thread faults below strike whoever executes
+                             // the armed persistence event. Composes with
+                             // mirror/epoch and with arm_events (a power
+                             // failure on top of fiber kills).
+  uint64_t kill_events = 0;  // fiber fault at this persistence event (0 = none)
+  uint64_t kill2_events = 0; // second armed fault — can strike the reclaimer
+                             // mid-reclamation (always a kill, never a stall)
+  uint64_t stall_ns = 0;     // 0: the first fault kills; > 0: it stalls the
+                             // worker this long, then resumes via the fenced
+                             // probe (zombie if a reclaimer fenced it)
 };
 
 /// The exact `crashfuzz --one ...` invocation that replays `spec`.
@@ -64,6 +76,11 @@ struct FuzzOptions {
                             // the media trials on nonzero records_repaired
   bool epoch = false;       // run the whole suite in group-commit mode (see
                             // ScheduleSpec::epoch)
+  bool kill = false;        // run the whole suite in thread-crash containment
+                            // mode: the deterministic sweep kills at every
+                            // event instead of crashing, and the randomized
+                            // phase mixes kills, stalls, reclaimer kills and
+                            // power failures (see ScheduleSpec::kill)
 };
 
 /// Deterministic sweeps + media-fault trials + randomized exploration.

@@ -2,7 +2,7 @@
 //
 //   crashfuzz [--schedules N] [--sweep N] [--seed S] [--algo R|U]
 //             [--domain ADR|eADR|PDRAM|PDRAM-Lite] [--workload bank|churn]
-//             [--mirror 0|1] [--epoch 0|1] [--verbose]
+//             [--mirror 0|1] [--epoch 0|1] [--kill 0|1] [--verbose]
 //       Deterministic event sweeps + media-fault trials + N randomized
 //       schedules across the selected matrix. Exit code = failure count.
 //       With --mirror 1 every schedule runs with log mirroring on, gated
@@ -10,10 +10,17 @@
 //       With --epoch 1 every schedule runs in group-commit mode: three
 //       concurrent DES workers publish into size-3 epochs, so crashes
 //       land mid-epoch with members between publish and ack.
+//       With --kill 1 every schedule runs in thread-crash containment
+//       mode: the deterministic sweep kills a worker fiber at every
+//       event (no power failure — survivors must reclaim the victim and
+//       the heap must verify online), and the randomized phase mixes
+//       kills, reclaimer kills, stalls, and power failures on top. The
+//       modes compose: --epoch 1 --mirror 1 --kill 1 is one run.
 //
 //   crashfuzz --one --algo R --domain ADR --workload bank --wl-seed S
 //             --events K --crash-seed S [--adversary NAME] [--torn 0|1]
-//             [--media 0|1] [--mirror 0|1] [--epoch 0|1]
+//             [--media 0|1] [--mirror 0|1] [--epoch 0|1] [--kill 0|1]
+//             [--kill-events K] [--kill2-events K] [--stall-ns N]
 //       Replay a single schedule (the repro line printed on failure).
 #include <cstdio>
 #include <cstdlib>
@@ -122,6 +129,15 @@ int main(int argc, char** argv) {
     } else if (a == "--epoch" && (v = next())) {
       spec.epoch = std::atoi(v) != 0;
       opt.epoch = spec.epoch;
+    } else if (a == "--kill" && (v = next())) {
+      spec.kill = std::atoi(v) != 0;
+      opt.kill = spec.kill;
+    } else if (a == "--kill-events" && (v = next())) {
+      spec.kill_events = std::strtoull(v, nullptr, 10);
+    } else if (a == "--kill2-events" && (v = next())) {
+      spec.kill2_events = std::strtoull(v, nullptr, 10);
+    } else if (a == "--stall-ns" && (v = next())) {
+      spec.stall_ns = std::strtoull(v, nullptr, 10);
     } else {
       return usage();
     }

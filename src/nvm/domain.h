@@ -128,6 +128,32 @@ struct SystemConfig {
   size_t epoch_max_txs = 8;
   uint64_t epoch_max_ns = 4000;
 
+  /// Thread-crash containment (ptm::ContainmentManager): per-worker
+  /// sim-time heartbeats plus an orec *lease*. A waiter (or the watchdog)
+  /// that finds a transaction whose owner has not heartbeat for
+  /// `tx_timeout_ns` treats the owner as dead, rolls its transaction back
+  /// (or forward, if durably committed) on its behalf, releases its orecs
+  /// and retires its slot (docs/FAULTS.md "Thread-crash containment").
+  /// 0 disables containment entirely — the runtime carries a null manager
+  /// and every hook is one null-pointer test, like psan/devstats.
+  uint64_t tx_timeout_ns = 0;
+
+  /// Watchdog cadence in simulated nanoseconds; 0 disables the watchdog
+  /// fiber. When nonzero (and tx_timeout_ns > 0) the workload driver
+  /// schedules one extra DES fiber that sweeps for transactions stalled
+  /// past the lease timeout, so stuck transactions are reclaimed even
+  /// when no live worker ever conflicts with them (ptm::Watchdog).
+  uint64_t watchdog_interval_ns = 0;
+
+  /// Ceiling for randomized abort backoff. The exponential draw in
+  /// Tx::handle_abort is clamped (with jitter, so retriers stay
+  /// desynchronized) to at most this many nanoseconds; 0 means uncapped.
+  /// The default never binds at the default backoff_base_ns (150ns << 10
+  /// max shift = 153600 < 1MiB-ns), keeping default-config runs
+  /// byte-identical, but guarantees a contended worker cannot back off
+  /// past a containment watchdog timeout.
+  uint64_t backoff_max_ns = 1ull << 20;
+
   CostModel cost;
 
   // Modelled hierarchy geometry.

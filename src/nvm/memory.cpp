@@ -1,5 +1,6 @@
 #include "nvm/memory.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
@@ -244,6 +245,7 @@ void Memory::background_writeback(sim::ExecContext& ctx, stats::TxCounters* c, u
 void Memory::store_bytes(sim::ExecContext& ctx, stats::TxCounters* c, void* dst,
                          const void* src, size_t len, Space space) {
   maybe_crash_event();
+  maybe_thread_fault(ctx);
   model_addr(ctx, c, dst, len, /*is_write=*/true, space);
   std::memcpy(dst, src, len);
   if (cfg_.crash_sim) track_store(dst, len);
@@ -253,6 +255,7 @@ void Memory::store_bytes(sim::ExecContext& ctx, stats::TxCounters* c, void* dst,
 void Memory::clwb(sim::ExecContext& ctx, stats::TxCounters* c, const void* addr) {
   if (cfg_.domain != Domain::kAdr) return;  // eADR & friends elide flushes
   maybe_crash_event();
+  maybe_thread_fault(ctx);
   if (psan_) psan_->on_clwb(ctx.worker_id(), line_of(addr));
   if (c) {
     c->clwbs++;
@@ -292,6 +295,7 @@ void Memory::clwb(sim::ExecContext& ctx, stats::TxCounters* c, const void* addr)
     std::lock_guard<std::mutex> lk(track_mu_);
     PendingLine p;
     p.line = line;
+    p.seq = ++clwb_seq_;
     std::memcpy(p.bytes, base_ + line * kLineBytes, kLineBytes);
     pending_[static_cast<size_t>(ctx.worker_id())].push_back(p);
   }
@@ -330,6 +334,7 @@ void Memory::persist_lines(sim::ExecContext& ctx, stats::TxCounters* c, uint64_t
 void Memory::sfence(sim::ExecContext& ctx, stats::TxCounters* c) {
   if (cfg_.domain != Domain::kAdr) return;
   maybe_crash_event();
+  maybe_thread_fault(ctx);
   if (psan_) psan_->on_sfence(ctx.worker_id());
   if (c) {
     c->sfences++;
@@ -355,11 +360,16 @@ void Memory::sfence(sim::ExecContext& ctx, stats::TxCounters* c) {
   if (cfg_.crash_sim) {
     std::lock_guard<std::mutex> lk(track_mu_);
     auto& pend = pending_[static_cast<size_t>(ctx.worker_id())];
-    for (const PendingLine& p : pend) {
-      std::memcpy(image_.get() + p.line * kLineBytes, p.bytes, kLineBytes);
-    }
+    for (const PendingLine& p : pend) apply_pending_locked(p);
     pend.clear();
   }
+}
+
+void Memory::apply_pending_locked(const PendingLine& p) {
+  const auto it = line_applied_seq_.find(p.line);
+  if (it != line_applied_seq_.end() && it->second > p.seq) return;
+  std::memcpy(image_.get() + p.line * kLineBytes, p.bytes, kLineBytes);
+  line_applied_seq_[p.line] = p.seq;
 }
 
 void Memory::track_store(const void* addr, size_t len) {
@@ -408,12 +418,22 @@ void Memory::persist_unfenced(util::Rng& rng, uint64_t line, const unsigned char
 void Memory::resolve_crash_image(util::Rng& rng) {
   if (cfg_.domain == Domain::kAdr) {
     // clwb'd-but-unfenced lines *may* have drained before the failure.
-    for (auto& pend : pending_) {
-      for (const PendingLine& p : pend) {
-        persist_unfenced(rng, p.line, p.bytes, cfg_.crash_pending_prob);
-      }
-      pend.clear();
+    // Resolve in global issue order, and never over a newer snapshot the
+    // owner already fenced: same-line writebacks serialize in issue order,
+    // so a stale snapshot a dead/stalled worker left pending cannot undo a
+    // line someone else durably re-wrote after it.
+    std::vector<const PendingLine*> inflight;
+    for (const auto& pend : pending_) {
+      for (const PendingLine& p : pend) inflight.push_back(&p);
     }
+    std::sort(inflight.begin(), inflight.end(),
+              [](const PendingLine* a, const PendingLine* b) { return a->seq < b->seq; });
+    for (const PendingLine* p : inflight) {
+      const auto it = line_applied_seq_.find(p->line);
+      if (it != line_applied_seq_.end() && it->second > p->seq) continue;
+      persist_unfenced(rng, p->line, p->bytes, cfg_.crash_pending_prob);
+    }
+    for (auto& pend : pending_) pend.clear();
     // Other dirty lines may have been spontaneously evicted (with whatever
     // content they hold now — an approximation; see DESIGN.md).
     for (uint64_t line : dirty_list_) {
@@ -429,6 +449,7 @@ void Memory::resolve_crash_image(util::Rng& rng) {
     }
     for (auto& pend : pending_) pend.clear();
   }
+  line_applied_seq_.clear();
   apply_media_faults();
 }
 
@@ -526,6 +547,82 @@ void Memory::arm_crash_after(uint64_t events, uint64_t rng_seed) {
   armed_.store(true, std::memory_order_release);
 }
 
+void Memory::arm_thread_fault(uint64_t events, uint64_t stall_ns) {
+  assert(cfg_.crash_sim && "thread-fault injection requires crash_sim=true");
+  assert(events > 0 && "a fault needs at least one event to fire on");
+  for (ThreadFault& f : tf_) {
+    if (!f.done) continue;
+    f.events_left = events;
+    f.stall_ns = stall_ns;
+    f.done = false;
+    tf_armed_.store(true, std::memory_order_release);
+    return;
+  }
+  assert(false && "at most two thread faults can be armed at once");
+}
+
+void Memory::clear_thread_faults() {
+  for (ThreadFault& f : tf_) f.done = true;
+  tf_armed_.store(false, std::memory_order_release);
+}
+
+void Memory::set_fenced_probe(std::function<bool(int)> probe) {
+  fenced_probe_ = std::move(probe);
+}
+
+void Memory::drain_worker_pending(int w) {
+  if (w < 0 || static_cast<size_t>(w) >= pending_.size()) return;
+  std::lock_guard<std::mutex> lk(track_mu_);
+  auto& pend = pending_[static_cast<size_t>(w)];
+  for (const PendingLine& p : pend) apply_pending_locked(p);
+  pend.clear();
+}
+
+void Memory::thread_fault_slow(sim::ExecContext& ctx) {
+  // Power failure already resolved: CrashPoint unwinding owns the run.
+  if (frozen_.load(std::memory_order_acquire)) return;
+  // Tick every armed fault on this shared event; fire the first due one.
+  ThreadFault* fire = nullptr;
+  bool any_pending = false;
+  for (ThreadFault& f : tf_) {
+    if (f.done) continue;
+    if (--f.events_left == 0) {
+      f.done = true;
+      if (fire == nullptr) fire = &f;
+    } else {
+      any_pending = true;
+    }
+  }
+  if (!any_pending) tf_armed_.store(false, std::memory_order_release);
+  if (fire == nullptr) return;
+  tf_fired_.fetch_add(1, std::memory_order_relaxed);
+  const int w = ctx.worker_id();
+  if (fire->stall_ns == 0) {
+    // The thread dies but the machine stays up: its in-flight writebacks
+    // drain normally. See drain_worker_pending().
+    drain_worker_pending(w);
+    throw FiberKill{w};
+  }
+  // Stall: the fiber goes dark while simulated time passes for everyone
+  // else. The stalled-mask bit makes the worker provably unresponsive to
+  // the containment layer for the stall's duration (lease steals require
+  // it). On wake, a power failure that happened meanwhile wins; then the
+  // containment layer gets to fence a worker it already reclaimed.
+  const uint64_t stall = fire->stall_ns;
+  if (w >= 0 && w < 64) {
+    tf_stalled_mask_.fetch_or(1ull << w, std::memory_order_acq_rel);
+    ctx.advance(stall);
+    tf_stalled_mask_.fetch_and(~(1ull << w), std::memory_order_acq_rel);
+  } else {
+    ctx.advance(stall);
+  }
+  if (frozen_.load(std::memory_order_acquire)) throw CrashPoint{};
+  if (fenced_probe_ && fenced_probe_(w)) {
+    drain_worker_pending(w);
+    throw FiberKill{w};
+  }
+}
+
 void Memory::crash_event_slow() {
   if (frozen_.load(std::memory_order_acquire)) throw CrashPoint{};
   if (crash_events_left_.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
@@ -550,6 +647,7 @@ void Memory::simulate_power_failure(util::Rng& rng) {
   clear_dirty_all();
   armed_.store(false, std::memory_order_release);
   frozen_.store(false, std::memory_order_release);
+  clear_thread_faults();  // dead threads do not outlive the machine
   if (psan_) psan_->on_power_failure();
 }
 
@@ -560,6 +658,7 @@ void Memory::checkpoint_all_persistent() {
   std::memcpy(image_.get(), base_, size_);
   clear_dirty_all();
   for (auto& pend : pending_) pend.clear();
+  line_applied_seq_.clear();
 }
 
 void Memory::clear_dirty_all() {

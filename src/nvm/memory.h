@@ -24,6 +24,7 @@
 #include <cstring>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -38,6 +39,7 @@
 #include "util/rng.h"
 
 #include <atomic>
+#include <functional>
 
 namespace analysis {
 class Psan;
@@ -55,6 +57,17 @@ namespace nvm {
 /// the worker out of whatever transaction it was executing — the live heap
 /// at that instant is the machine state at power failure.
 struct CrashPoint {};
+
+/// Thrown when an armed thread fault kills the executing worker fiber
+/// (see Memory::arm_thread_fault). Unlike CrashPoint the pool stays live:
+/// only this worker dies, leaving its orecs locked and its log slot
+/// whatever the fault instant left it — exactly the state thread-crash
+/// containment must clean up online (docs/FAULTS.md, "Thread-crash
+/// containment"). The runtime must NOT roll the dying worker back; a
+/// dead thread performs no further stores.
+struct FiberKill {
+  int worker = -1;
+};
 
 class Memory {
  public:
@@ -77,6 +90,7 @@ class Memory {
   void store_word(sim::ExecContext& ctx, stats::TxCounters* c, uint64_t* addr, uint64_t val,
                   Space space) {
     maybe_crash_event();
+    maybe_thread_fault(ctx);
     model_addr(ctx, c, addr, 8, /*is_write=*/true, space);
     std::atomic_ref<uint64_t>(*addr).store(val, std::memory_order_release);
     if (cfg_.crash_sim) track_store(addr, 8);
@@ -96,6 +110,7 @@ class Memory {
   void account_store_in_place(sim::ExecContext& ctx, stats::TxCounters* c,
                               const uint64_t* addr, Space space) {
     maybe_crash_event();
+    maybe_thread_fault(ctx);
     model_addr(ctx, c, addr, 8, /*is_write=*/true, space);
     if (cfg_.crash_sim) track_store(addr, 8);
     if (psan_) psan_store(ctx, addr, 8, space);
@@ -189,6 +204,59 @@ class Memory {
     return event_count_.load(std::memory_order_relaxed);
   }
 
+  // ----- thread-fault injection (fiber kill / stall) ---------------------
+
+  /// Arm a thread fault (crash_sim only): after `events` further
+  /// persistence events, the worker executing that event either dies —
+  /// stall_ns == 0: FiberKill is thrown *before* the event's store takes
+  /// effect, so a dead thread never half-issues its last store — or goes
+  /// dark for `stall_ns` simulated nanoseconds and then resumes. A
+  /// resuming worker first consults the fenced probe (below): if the
+  /// containment layer fenced it while it was out, it dies at the wake
+  /// instant instead of racing its own reclamation. Up to two faults can
+  /// be armed at once; the second models a kill striking the *reclaimer*
+  /// mid-reclamation. Event numbering is shared with arm_crash_after, so
+  /// kill sweeps walk the same deterministic event space as crash sweeps.
+  void arm_thread_fault(uint64_t events, uint64_t stall_ns = 0);
+
+  /// Disarm every thread fault that has not fired yet (kill sweeps call
+  /// this before post-run verification so leftover arms cannot fire in
+  /// checking code). Also cleared by simulate_power_failure().
+  void clear_thread_faults();
+
+  /// Install the containment layer's zombie probe, called with the waking
+  /// worker's id after a stall; returning true means the worker was
+  /// fenced (quarantined / deposed) while stalled and must die rather
+  /// than resume. nullptr uninstalls.
+  void set_fenced_probe(std::function<bool(int)> probe);
+
+  /// Thread faults fired so far (kills + stalls entered).
+  uint64_t thread_faults_fired() const {
+    return tf_fired_.load(std::memory_order_relaxed);
+  }
+
+  /// Drain worker `w`'s clwb'd-but-unfenced WPQ entries into the persisted
+  /// image, as its own sfence would. Called at thread-death points (the
+  /// kill paths here, and the containment layer's heartbeat kill): a fiber
+  /// kill leaves the MACHINE powered, so the dead thread's in-flight line
+  /// writebacks complete normally within nanoseconds — long before any
+  /// lease expires. Without this they would linger as stale byte snapshots
+  /// until a later power failure, where the writeback adversary could
+  /// replay them torn over lines that survivors or a reclaimer have since
+  /// durably re-written. Power failures (CrashPoint) must NOT drain: those
+  /// entries are exactly the in-flight state the adversary resolves.
+  void drain_worker_pending(int w);
+
+  /// True while worker `w` is parked inside a stall fault's advance. The
+  /// containment layer only reclaims leases from workers that are provably
+  /// unresponsive — dead, or parked here — never from a slow-but-live
+  /// worker, whose one in-flight store could otherwise race the surgery
+  /// (the sim analogue of "the OS confirmed the thread is gone").
+  bool stalled_in_fault(int w) const {
+    if (w < 0 || w >= 64) return false;
+    return ((tf_stalled_mask_.load(std::memory_order_acquire) >> w) & 1) != 0;
+  }
+
   // ----- persistency sanitizer -------------------------------------------
 
   /// The sanitizer instance, or nullptr when off (SystemConfig::psan is
@@ -274,8 +342,17 @@ class Memory {
  private:
   struct PendingLine {
     uint64_t line;
+    uint64_t seq;  // global clwb issue order; see line_applied_seq_
     unsigned char bytes[kLineBytes];
   };
+
+  /// Apply one pending snapshot to the persisted image, unless a NEWER
+  /// snapshot of the same line has already been applied (track_mu_ held).
+  /// Writebacks of one line serialize in issue order on real hardware: a
+  /// fiber that fences long after its clwb (a stall fault, or a worker
+  /// whose line another worker has since rewritten and fenced) must not
+  /// roll the persisted line back to its stale issue-time snapshot.
+  void apply_pending_locked(const PendingLine& p);
 
   // Resolve timing + cache modelling for a real address range.
   void model_addr(sim::ExecContext& ctx, stats::TxCounters* c, const void* addr, size_t len,
@@ -313,6 +390,14 @@ class Memory {
     crash_event_slow();
   }
   void crash_event_slow();
+
+  // One relaxed flag test when no thread fault is armed (the always-off
+  // cost of the fiber-kill model, mirroring maybe_crash_event's shape).
+  void maybe_thread_fault(sim::ExecContext& ctx) {
+    if (!tf_armed_.load(std::memory_order_relaxed)) return;
+    thread_fault_slow(ctx);
+  }
+  void thread_fault_slow(sim::ExecContext& ctx);
 
   // Apply the durability domain's power-failure rule to the image (caller
   // holds track_mu_).
@@ -376,6 +461,10 @@ class Memory {
   std::vector<uint64_t> dirty_bitmap_;           // 1 bit per line
   std::vector<uint64_t> dirty_list_;             // unique dirty line ids
   std::vector<std::vector<PendingLine>> pending_;  // per worker: clwb'd, unfenced
+  uint64_t clwb_seq_ = 0;  // global snapshot issue counter (track_mu_)
+  // Per line: issue seq of the newest snapshot applied to image_. Applies
+  // of older snapshots are skipped (see apply_pending_locked).
+  std::unordered_map<uint64_t, uint64_t> line_applied_seq_;
 
   std::unique_ptr<analysis::Psan> psan_;
   std::unique_ptr<stats::DevStats> devstats_;
@@ -384,6 +473,20 @@ class Memory {
   std::atomic<bool> frozen_{false};
   std::atomic<int64_t> crash_events_left_{0};
   util::Rng crash_rng_;
+
+  // Thread-fault (fiber kill/stall) state. Mutated only between runs
+  // (arming) or from the single-OS-thread DES hooks, so plain fields
+  // beyond the armed flag are safe.
+  struct ThreadFault {
+    uint64_t events_left = 0;
+    uint64_t stall_ns = 0;
+    bool done = true;
+  };
+  std::atomic<bool> tf_armed_{false};
+  ThreadFault tf_[2];
+  std::atomic<uint64_t> tf_fired_{0};
+  std::atomic<uint64_t> tf_stalled_mask_{0};  // workers parked in a stall fault
+  std::function<bool(int)> fenced_probe_;
 
   bool test_and_set_dirty(uint64_t line) {
     auto& w = dirty_bitmap_[line >> 6];

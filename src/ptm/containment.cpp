@@ -1,0 +1,346 @@
+// Thread-crash containment: lease bookkeeping and on-behalf reclamation.
+// See containment.h for the protocol and docs/FAULTS.md for the fault
+// model and the ordering points of the reclamation surgery.
+#include "ptm/containment.h"
+
+#include "analysis/psan.h"
+#include "ptm/runtime.h"
+
+namespace ptm {
+
+ContainmentManager::ContainmentManager(Runtime& rt, uint64_t timeout_ns,
+                                       int max_workers)
+    : rt_(rt), timeout_ns_(timeout_ns), n_(max_workers),
+      ws_(new WorkerState[static_cast<size_t>(max_workers)]) {
+  stats_.enabled = true;
+  // Zombie probe: a worker waking from a stall fault dies before issuing
+  // its interrupted store if it was fenced while parked.
+  rt_.pool().mem().set_fenced_probe([this](int w) {
+    if (w < 0 || w >= n_) return false;
+    if (!ws_[static_cast<size_t>(w)].fenced.load(std::memory_order_acquire)) {
+      return false;
+    }
+    stats_.zombies_fenced++;
+    return true;
+  });
+}
+
+ContainmentManager::~ContainmentManager() {
+  rt_.pool().mem().set_fenced_probe(nullptr);
+}
+
+void ContainmentManager::beat(int w, uint64_t now) {
+  if (w < 0 || w >= n_) return;
+  WorkerState& s = ws_[static_cast<size_t>(w)];
+  // The heartbeat doubles as the permission check: a fenced worker has
+  // been reclaimed (or deposed) and must not issue another store.
+  if (s.fenced.load(std::memory_order_acquire)) {
+    rt_.pool().mem().drain_worker_pending(w);
+    throw nvm::FiberKill{w};
+  }
+  // Monotonic max: contexts with different clocks (engine fibers vs a
+  // verification RealContext) must never roll a lease backwards.
+  const uint64_t prev = s.last_beat.load(std::memory_order_relaxed);
+  if (now > prev) s.last_beat.store(now, std::memory_order_release);
+}
+
+void ContainmentManager::enter_tx(int w, uint64_t now) {
+  WorkerState& s = ws_[static_cast<size_t>(w)];
+  // Quarantine: a dead or fenced descriptor must not start a transaction
+  // until reclamation/recovery retired it and the harness revived the id.
+  if (s.dead.load(std::memory_order_acquire) ||
+      s.fenced.load(std::memory_order_acquire)) {
+    rt_.pool().mem().drain_worker_pending(w);
+    throw nvm::FiberKill{w};
+  }
+  const uint64_t prev = s.last_beat.load(std::memory_order_relaxed);
+  if (now > prev) s.last_beat.store(now, std::memory_order_release);
+  s.in_tx.store(true, std::memory_order_release);
+}
+
+void ContainmentManager::exit_tx(int w) {
+  ws_[static_cast<size_t>(w)].in_tx.store(false, std::memory_order_release);
+}
+
+void ContainmentManager::mark_dead(int w) {
+  if (w < 0 || w >= n_) return;
+  ws_[static_cast<size_t>(w)].dead.store(true, std::memory_order_release);
+  stats_.deaths++;
+}
+
+bool ContainmentManager::stale(int w, uint64_t now) const {
+  if (w < 0 || w >= n_) return false;
+  const WorkerState& s = ws_[static_cast<size_t>(w)];
+  if (s.fenced.load(std::memory_order_acquire)) return true;
+  // Soundness: only a provably unresponsive worker can lose its lease. A
+  // slow-but-live worker always keeps it — its one in-flight store could
+  // land after the surgery rewired the slot.
+  if (!s.dead.load(std::memory_order_acquire) &&
+      !rt_.pool().mem().stalled_in_fault(w)) {
+    return false;
+  }
+  const uint64_t b = s.last_beat.load(std::memory_order_acquire);
+  return now >= b && now - b > timeout_ns_;
+}
+
+void ContainmentManager::note_takeover(int old_leader) {
+  if (old_leader >= 0 && old_leader < n_) {
+    ws_[static_cast<size_t>(old_leader)].fenced.store(true, std::memory_order_release);
+  }
+  stats_.leader_takeovers++;
+}
+
+bool ContainmentManager::on_locked_orec(uint32_t owner, sim::ExecContext& ctx,
+                                        stats::TxCounters* c) {
+  const int w = static_cast<int>(owner);
+  if (w < 0 || w >= n_ || w == ctx.worker_id()) return false;
+  if (!ws_[static_cast<size_t>(w)].in_tx.load(std::memory_order_acquire)) return false;
+  if (!stale(w, ctx.now_ns())) return false;
+  return reclaim(w, ctx, c);
+}
+
+void ContainmentManager::sweep(sim::ExecContext& ctx, stats::TxCounters* c) {
+  stats_.watchdog_passes++;
+  const int me = ctx.worker_id();
+  beat(me, ctx.now_ns());
+  for (int w = 0; w < n_; w++) {
+    if (w == me) continue;
+    if (!ws_[static_cast<size_t>(w)].in_tx.load(std::memory_order_acquire)) continue;
+    if (!stale(w, ctx.now_ns())) continue;
+    reclaim(w, ctx, c);
+  }
+}
+
+bool ContainmentManager::reclaim(int victim, sim::ExecContext& ctx,
+                                 stats::TxCounters* c) {
+  const int me = ctx.worker_id();
+  if (victim == me || victim < 0 || victim >= n_) return false;
+  WorkerState& vs = ws_[static_cast<size_t>(victim)];
+  const uint64_t now = ctx.now_ns();
+  if (!vs.in_tx.load(std::memory_order_acquire)) return false;
+  if (!stale(victim, now)) return false;
+
+  // One reclaimer at a time; the guard itself is lease-stealable (a kill
+  // can strike mid-reclamation). Stealing fences the previous holder: if
+  // it was merely stalled, it dies on wake instead of resuming surgery a
+  // successor restarted from scratch.
+  int cur = vs.reclaim_by.load(std::memory_order_acquire);
+  if (cur == me) return false;
+  if (cur >= 0) {
+    if (!stale(cur, now)) return false;
+    if (!vs.reclaim_by.compare_exchange_strong(cur, me, std::memory_order_acq_rel)) {
+      return false;
+    }
+    ws_[static_cast<size_t>(cur)].fenced.store(true, std::memory_order_release);
+  } else if (!vs.reclaim_by.compare_exchange_strong(cur, me,
+                                                    std::memory_order_acq_rel)) {
+    return false;
+  }
+
+  // Fence the victim before any surgery: if it is merely stalled (not
+  // dead), its wake probe — or its next heartbeat — kills it before it
+  // can issue the store the fault interrupted.
+  vs.fenced.store(true, std::memory_order_release);
+
+  bool done = false;
+  try {
+    // Re-verify under the guard: a previous holder may have finished, or
+    // the state may have moved while we raced for the guard.
+    if (vs.in_tx.load(std::memory_order_acquire) && stale(victim, ctx.now_ns())) {
+      done = reclaim_locked(victim, ctx, c);
+    } else {
+      done = true;
+    }
+  } catch (const nvm::FiberKill&) {
+    // Killed mid-reclamation: keep the guard set. The next reclaimer
+    // observes the holder as stale and steals it; releasing here would
+    // drop the "one surgeon at a time" invariant for a zombie holder.
+    throw;
+  } catch (...) {
+    vs.reclaim_by.store(-1, std::memory_order_release);
+    throw;
+  }
+  if (done) vs.in_tx.store(false, std::memory_order_release);
+  vs.reclaim_by.store(-1, std::memory_order_release);
+  return done;
+}
+
+bool ContainmentManager::reclaim_locked(int victim, sim::ExecContext& ctx,
+                                        stats::TxCounters* c) {
+  WorkerState& vs = ws_[static_cast<size_t>(victim)];
+  Tx& vtx = *rt_.txs_[static_cast<size_t>(victim)];
+  nvm::Pool& pool = rt_.pool();
+  nvm::Memory& mem = pool.mem();
+  const uint64_t expiry =
+      vs.last_beat.load(std::memory_order_acquire) + timeout_ns_;
+
+  // Resolve the victim's epoch entanglement first: a queued/staged
+  // member's fate is the epoch's fate, not the slot header's.
+  int phase = 0;
+  EpochManager* ep = rt_.epochs();
+  if (ep != nullptr) {
+    const uint64_t poll = timeout_ns_ >= 8 ? timeout_ns_ / 8 : 1;
+    for (;;) {
+      phase = ep->member_phase(victim);
+      if (phase != 1) break;
+      // Queued or staged: close the epoch on the victim's behalf, stealing
+      // a dead leader's lease if needed. A live leader mid-drain makes
+      // help_close return false — give it time to finish.
+      if (!ep->help_close(ctx, c)) {
+        ctx.advance(poll);
+        beat(ctx.worker_id(), ctx.now_ns());
+      }
+    }
+    if (phase == 3) return false;  // froze mid-drain; recovery owns the slot
+    ep->forget(victim);
+  }
+
+  // Dispatch on what is durably decided. Absent a power failure the pool
+  // image holds every store the victim issued, so the slot header is the
+  // ground truth for "commit record sealed". The volatile committed_hint_
+  // covers the post-retire window where the header already shows the next
+  // epoch's IDLE but orecs/observer work is unfinished; an acked epoch
+  // member (phase 2) is durably committed by the epoch's batch C fence.
+  const uint64_t st = vtx.slot_.header->status;
+  const bool committed =
+      phase == 2 || vtx.committed_hint_ ||
+      (TxSlotHeader::state_of(st) == TxSlotHeader::kCommitted &&
+       TxSlotHeader::epoch_of(st) == vtx.epoch_);
+
+  if (committed) {
+    // Roll FORWARD. Lazy: replay the sealed redo log to the home
+    // locations (idempotent across reclaimer deaths — re-storing the
+    // committed values is harmless while the victim's orecs are held);
+    // eager: the data is already in place. Then the committed frees.
+    if (vtx.algo_ == Algo::kOrecLazy && vtx.n_log_ > 0) {
+      for (size_t i = 0; i < vtx.n_log_; i++) {
+        const LogEntry* e = vtx.slot_.entry_at(i);
+        auto* home = static_cast<uint64_t*>(pool.at(LogEntry::offset_of(e->off)));
+        mem.store_word(ctx, c, home, e->val, nvm::Space::kData);
+        vtx.dirty_.add(mem.line_of(home));
+      }
+    }
+    for (const uint64_t line : vtx.dirty_.lines()) {
+      mem.clwb(ctx, c, pool.base() + line * nvm::Memory::kLineBytes);
+    }
+    if (!vtx.dirty_.lines().empty()) mem.sfence(ctx, c);
+    for (void* p : vtx.tx_frees_) rt_.alloc_.free_block_if_absent(ctx, c, p);
+  } else {
+    // Roll BACK. Eager: apply the undo log newest-first to the in-place
+    // homes (only when the durable header still shows this epoch ACTIVE —
+    // an already-quiesced slot has nothing to undo); lazy: the unsealed
+    // redo log is simply discarded. Then cancel speculative allocations.
+    if (vtx.algo_ == Algo::kOrecEager && vtx.n_log_ > 0 &&
+        TxSlotHeader::state_of(st) == TxSlotHeader::kActive &&
+        TxSlotHeader::epoch_of(st) == vtx.epoch_) {
+      for (size_t i = vtx.n_log_; i-- > 0;) {
+        const LogEntry* e = vtx.slot_.entry_at(i);
+        auto* home = static_cast<uint64_t*>(pool.at(LogEntry::offset_of(e->off)));
+        mem.store_word(ctx, c, home, e->val, nvm::Space::kData);
+        vtx.dirty_.add(mem.line_of(home));
+      }
+      for (const uint64_t line : vtx.dirty_.lines()) {
+        mem.clwb(ctx, c, pool.base() + line * nvm::Memory::kLineBytes);
+      }
+      mem.sfence(ctx, c);
+    }
+    for (void* p : vtx.tx_allocs_) rt_.alloc_.free_block_if_absent(ctx, c, p);
+  }
+  // Blocks allocated by a committed victim stay allocated (their offsets
+  // are in committed state); blocks freed by an aborted one stay live.
+  // Both vectors clear only after their effects are applied above — a
+  // reclaimer killed before this line leaves them for its successor.
+  vtx.tx_allocs_.clear();
+  vtx.tx_frees_.clear();
+
+  retire_slot_on_behalf(vtx, ctx, c);
+
+  // Release the victim's orecs. CAS, not blind store: if the victim (or a
+  // previous reclaimer) already released some — or a later transaction has
+  // since acquired and advanced them — the CAS must lose. Restart-safe.
+  const auto owner = static_cast<uint32_t>(victim);
+  if (committed) {
+    const uint64_t rv = OrecTable::version_word(rt_.orecs_.tick());
+    for (const OwnedOrec& o : vtx.owned_) {
+      uint64_t expect = OrecTable::lock_word(owner);
+      o.orec->compare_exchange_strong(expect, rv, std::memory_order_acq_rel);
+    }
+  } else {
+    for (const OwnedOrec& o : vtx.owned_) {
+      uint64_t expect = OrecTable::lock_word(owner);
+      o.orec->compare_exchange_strong(expect, o.old_word, std::memory_order_acq_rel);
+    }
+  }
+  vtx.owned_.clear();
+
+  // Close out attribution and the shadow history on the victim's behalf.
+  // The commit notification carries the victim's orec-clock ticket, which
+  // ordered before any successor that re-acquires these locations.
+  if (vtx.psan_ != nullptr) vtx.psan_->on_tx_end(victim);
+  if (TxObserver* ob = rt_.observer()) {
+    if (committed) {
+      ob->on_commit(victim, vtx.commit_ticket_);
+    } else {
+      ob->on_abort(victim);
+    }
+  }
+
+  stats_.stuck_tx_reclaimed++;
+  if (committed) {
+    stats_.commits_completed++;
+  } else {
+    stats_.aborts_on_behalf++;
+  }
+  const uint64_t done_ns = ctx.now_ns();
+  stats_.reclaim_latency_ns.record(done_ns > expiry ? done_ns - expiry : 0);
+  return true;
+}
+
+void ContainmentManager::retire_slot_on_behalf(Tx& vtx, sim::ExecContext& ctx,
+                                               stats::TxCounters* c) {
+  // The on-behalf twin of Tx::retire_logs + set_status, issued through the
+  // RECLAIMER's context. Same ordering: counts zeroed, epoch advanced
+  // (skipping the reserved tag-0 space with a durable quiesce), mirror
+  // sealed before the primary status, one flush + fence for the header
+  // line. Double epoch bumps across restarted reclaims only skip values,
+  // which the tag scheme tolerates by construction.
+  nvm::Pool& pool = rt_.pool();
+  nvm::Memory& mem = pool.mem();
+  mem.store_word(ctx, c, &vtx.slot_.header->log_count, 0, nvm::Space::kLog);
+  mem.store_word(ctx, c, &vtx.slot_.header->alloc_count, 0, nvm::Space::kLog);
+  vtx.n_log_ = 0;
+  vtx.n_alloc_log_ = 0;
+  vtx.epoch_++;
+  if ((vtx.epoch_ & LogEntry::kTagMask) == 0) {
+    zero_slot_logs(pool, ctx, c, vtx.slot_);
+    vtx.epoch_++;
+  }
+  const uint64_t word = TxSlotHeader::make(vtx.epoch_, TxSlotHeader::kIdle);
+  if (vtx.slot_.mirrored) seal_and_mirror_header(pool, ctx, c, vtx.slot_, word);
+  mem.store_word(ctx, c, &vtx.slot_.header->status, word, nvm::Space::kLog);
+  if (vtx.slot_.mirrored) seal_primary_header_crc(pool, ctx, c, vtx.slot_);
+  mem.clwb(ctx, c, vtx.slot_.header);
+  mem.sfence(ctx, c);
+  vtx.windex_.clear();
+  vtx.dirty_.clear();
+  vtx.read_set_.clear();
+  vtx.active_persisted_ = false;
+  vtx.committed_hint_ = false;
+}
+
+void ContainmentManager::reset() {
+  for (int w = 0; w < n_; w++) {
+    WorkerState& s = ws_[static_cast<size_t>(w)];
+    s.last_beat.store(0, std::memory_order_relaxed);
+    s.in_tx.store(false, std::memory_order_relaxed);
+    s.dead.store(false, std::memory_order_relaxed);
+    s.fenced.store(false, std::memory_order_relaxed);
+    s.reclaim_by.store(-1, std::memory_order_release);
+  }
+}
+
+void ContainmentManager::revive_all() { reset(); }
+
+stats::ContainmentStats ContainmentManager::snapshot() const { return stats_; }
+
+}  // namespace ptm

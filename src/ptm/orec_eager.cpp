@@ -8,6 +8,7 @@
 #include <cassert>
 
 #include "analysis/psan.h"
+#include "ptm/containment.h"
 #include "ptm/runtime.h"
 #include "ptm/tx.h"
 
@@ -24,6 +25,8 @@ uint64_t Tx::eager_read(const uint64_t* waddr) {
       // We own it: the in-place value is ours.
       return pool.mem().load_word(*ctx_, c_, waddr, nvm::Space::kData);
     }
+    // Containment: reclaim a dead owner's lock before giving up.
+    if (cm_) cm_->on_locked_orec(OrecTable::owner_of(v1), *ctx_, c_);
     abort_tx(stats::AbortCause::kConflictRead);
   }
   const uint64_t val = pool.mem().load_word(*ctx_, c_, waddr, nvm::Space::kData);
@@ -45,7 +48,11 @@ void Tx::eager_write(uint64_t* waddr, uint64_t val) {
   std::atomic<uint64_t>& orec = orecs.for_addr(waddr);
   const uint64_t cur = orec.load(std::memory_order_acquire);
   if (OrecTable::is_locked(cur)) {
-    if (OrecTable::owner_of(cur) != me) abort_tx(stats::AbortCause::kConflictWrite);
+    if (OrecTable::owner_of(cur) != me) {
+      // Containment: reclaim a dead owner's lock before giving up.
+      if (cm_) cm_->on_locked_orec(OrecTable::owner_of(cur), *ctx_, c_);
+      abort_tx(stats::AbortCause::kConflictWrite);
+    }
   } else {
     if (OrecTable::version_of(cur) > start_time_) {
       abort_tx(stats::AbortCause::kConflictWrite);
@@ -172,6 +179,7 @@ void Tx::eager_commit() {
     set_status(TxSlotHeader::kCommitted, /*fence=*/true);
   }
   // ---- durable commit point ----
+  committed_hint_ = true;  // reclamation must now roll FORWARD
 
   apply_frees();
 

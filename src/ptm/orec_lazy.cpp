@@ -8,6 +8,7 @@
 #include <cassert>
 
 #include "analysis/psan.h"
+#include "ptm/containment.h"
 #include "ptm/runtime.h"
 #include "ptm/tx.h"
 #include "util/crc32.h"
@@ -28,7 +29,13 @@ uint64_t Tx::lazy_read(const uint64_t* waddr) {
 
   std::atomic<uint64_t>& orec = rt_->orecs().for_addr(waddr);
   const uint64_t v1 = orec.load(std::memory_order_acquire);
-  if (OrecTable::is_locked(v1)) abort_tx(stats::AbortCause::kConflictRead);
+  if (OrecTable::is_locked(v1)) {
+    // Containment: if the owner's lease expired and it is provably gone,
+    // reclaim its transaction so the retry can make progress. This attempt
+    // still aborts either way — the retry revalidates from scratch.
+    if (cm_) cm_->on_locked_orec(OrecTable::owner_of(v1), *ctx_, c_);
+    abort_tx(stats::AbortCause::kConflictRead);
+  }
   const uint64_t val = pool.mem().load_word(*ctx_, c_, waddr, nvm::Space::kData);
   const uint64_t v2 = orec.load(std::memory_order_acquire);
   if (v1 != v2 || OrecTable::version_of(v1) > start_time_) {
@@ -86,6 +93,8 @@ void Tx::lazy_commit() {
     const uint64_t cur = orec.load(std::memory_order_acquire);
     if (OrecTable::is_locked(cur)) {
       if (OrecTable::owner_of(cur) == me) continue;  // hash collision / dup
+      // Containment: reclaim a dead owner's lock before giving up.
+      if (cm_) cm_->on_locked_orec(OrecTable::owner_of(cur), *ctx_, c_);
       // handle_abort restores the orecs acquired so far
       abort_tx(stats::AbortCause::kConflictWrite);
     }
@@ -178,6 +187,7 @@ void Tx::lazy_commit() {
     }
     set_status(TxSlotHeader::kCommitted, /*fence=*/true);
     // ---- durable commit point ----
+    committed_hint_ = true;  // reclamation must now roll FORWARD
 
     // Ordering point (write-back rule): home-location stores must not
     // start until the commit record is durable — otherwise a crash sees

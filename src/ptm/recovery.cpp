@@ -56,6 +56,9 @@ stats::RecoveryReport Runtime::recover(sim::ExecContext& ctx) {
   // fate below — exactly the per-transaction crash cases, so the replay
   // and rollback paths need no epoch-specific logic.
   if (epochs_) epochs_->reset();
+  // Containment verdicts (leases, quarantine flags, reclaim guards) are
+  // volatile online state; after a power failure recovery owns every slot.
+  if (containment_) containment_->reset();
 
   nvm::Memory& mem = pool_.mem();
   stats::TxCounters* c = nullptr;  // recovery is not part of measured runs
@@ -212,9 +215,11 @@ stats::RecoveryReport Runtime::recover(sim::ExecContext& ctx) {
         }
         rep.records_damaged++;
         bucket(pv);
+        Verdict mv = Verdict::kInvalid;
         if (slot.mirrored) {
           const LogEntry* m = slot.mirror_entry_at(i);
-          if (classify(m) == Verdict::kOk) {
+          mv = classify(m);
+          if (mv == Verdict::kOk) {
             mem.store_word(ctx, c, &e->off, m->off, nvm::Space::kLog);
             mem.store_word(ctx, c, &e->val, m->val, nvm::Space::kLog);
             mem.clwb(ctx, c, e);
@@ -224,9 +229,23 @@ stats::RecoveryReport Runtime::recover(sim::ExecContext& ctx) {
             return e;
           }
         }
-        // No usable copy left.
-        const bool lost = slot.mirrored ? (committed || pv == Verdict::kMedia)
-                                        : pv == Verdict::kMedia;
+        // No usable copy left. The replica record is stored before the
+        // primary and rides the same flush/fence batch, so in an ACTIVE
+        // undo slot a replica that is stale or torn proves the record's
+        // ordering fence never completed — which means the in-place store
+        // it guards never executed, and skipping it is the correct
+        // rollback, exactly as for a torn primary. Only when the replica
+        // is itself media-damaged (or sealed garbage with a bad offset) is
+        // the record's fate unknowable, and pessimism counts it lost.
+        bool lost;
+        if (!slot.mirrored) {
+          lost = pv == Verdict::kMedia;
+        } else if (committed) {
+          lost = true;
+        } else {
+          lost = pv == Verdict::kMedia &&
+                 (mv == Verdict::kMedia || mv == Verdict::kInvalid);
+        }
         if (lost) {
           rep.records_lost++;
           degraded_.lost_records++;

@@ -5,6 +5,13 @@ namespace ptm {
 Runtime::Runtime(nvm::Pool& pool, Algo algo)
     : pool_(pool), algo_(algo), alloc_(pool),
       counters_(static_cast<size_t>(pool.config().max_workers)) {
+  // Containment first: the Tx descriptors below capture the pointer, so it
+  // must exist (or be definitively absent — the tx_timeout_ns == 0 purity
+  // contract) before any of them is built.
+  if (pool.config().tx_timeout_ns > 0) {
+    containment_.reset(new ContainmentManager(*this, pool.config().tx_timeout_ns,
+                                              pool.config().max_workers));
+  }
   txs_.reserve(counters_.size());
   for (int w = 0; w < pool.config().max_workers; w++) {
     txs_.emplace_back(new Tx(*this, w));
@@ -13,6 +20,7 @@ Runtime::Runtime(nvm::Pool& pool, Algo algo)
     epochs_.reset(new EpochManager(pool.config().epoch_max_txs,
                                    pool.config().epoch_max_ns,
                                    pool.config().max_workers));
+    epochs_->set_containment(containment_.get());
   }
   // Safe memory reclamation: before the allocator threads a freed block
   // onto a free list (overwriting its first payload word), advance that

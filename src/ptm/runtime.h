@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "ptm/containment.h"
 #include "ptm/epoch.h"
 #include "ptm/tx.h"
 #include "stats/trace.h"
@@ -77,6 +78,7 @@ class Runtime {
       // therefore only record the outcome; rollback, backoff and rethrow
       // all run after the handler has closed.
       std::exception_ptr app_err;
+      bool killed = false;
       try {
         body(tx);
         tx.commit();
@@ -87,12 +89,29 @@ class Runtime {
         return;
       } catch (const AbortTx&) {
         // Conflict/capacity abort: fall through to rollback + retry.
+      } catch (const nvm::FiberKill&) {
+        // Thread-crash fault: record only; quarantine after the handler.
+        killed = true;
       } catch (...) {
         // Application exception (including nvm::CrashPoint): roll back,
         // then let it escape below.
         app_err = std::current_exception();
       }
-      tx.handle_abort();
+      if (killed) {
+        // The worker died at a persistence event. No rollback, no retry:
+        // its orecs stay locked and its log slot stays mid-flight, exactly
+        // as the kill left them, for containment (online reclamation by a
+        // surviving worker / the watchdog) or recovery to resolve.
+        tx.mark_killed();
+        throw nvm::FiberKill{ctx.worker_id()};
+      }
+      try {
+        tx.handle_abort();
+      } catch (const nvm::FiberKill&) {
+        // A second armed fault (or a reclaim fence) struck mid-rollback.
+        tx.mark_killed();
+        throw;
+      }
       if (app_err) std::rethrow_exception(app_err);
       if (tracing) {
         // One span per *attempt*: aborted attempts appear individually,
@@ -134,6 +153,10 @@ class Runtime {
   /// REPRO_EPOCH=1) selected the mode when this runtime was built.
   EpochManager* epochs() const { return epochs_.get(); }
 
+  /// Thread-crash containment; null unless SystemConfig::tx_timeout_ns > 0
+  /// when this runtime was built (the default-off purity contract).
+  ContainmentManager* containment() const { return containment_.get(); }
+
   stats::TxCounters& counters(int worker) {
     return counters_[static_cast<size_t>(worker)];
   }
@@ -155,6 +178,7 @@ class Runtime {
  private:
   friend class Tx;
   friend class Recovery;
+  friend class ContainmentManager;
 
   nvm::Pool& pool_;
   Algo algo_;
@@ -163,6 +187,7 @@ class Runtime {
   std::vector<stats::TxCounters> counters_;
   std::vector<std::unique_ptr<Tx>> txs_;
   std::unique_ptr<EpochManager> epochs_;  // non-null only in epoch mode
+  std::unique_ptr<ContainmentManager> containment_;  // non-null only with tx_timeout_ns
   TxObserver* observer_ = nullptr;
   stats::DegradedReport degraded_;  // reset at the top of every recover()
 };

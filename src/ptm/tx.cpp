@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "analysis/psan.h"
+#include "ptm/backoff.h"
+#include "ptm/containment.h"
 #include "ptm/runtime.h"
 
 namespace ptm {
@@ -23,6 +25,7 @@ Tx::Tx(Runtime& rt, int worker)
   slot_ = SlotLayout::carve(pool.worker_meta(worker), pool.worker_meta_bytes(),
                             pool.config().log_mirror);
   slot_.attach_segments(pool);
+  cm_ = rt.containment();
   epoch_ = TxSlotHeader::epoch_of(slot_.header->status);
   // Tag 0 is reserved (zero-filled log memory must never alias a live
   // record); a fresh pool starts at epoch 0, so step past it. The durable
@@ -34,6 +37,11 @@ Tx::Tx(Runtime& rt, int worker)
 
 void Tx::begin() {
   stats::PhaseTimer pt(*ctx_, &c_->phases, stats::Phase::kBegin);
+  // Containment lease: quarantine check + heartbeat + "in flight" mark,
+  // before any speculative state exists. Throws FiberKill for a dead or
+  // fenced descriptor — nothing below must run for a zombie.
+  if (cm_) cm_->enter_tx(worker_, ctx_->now_ns());
+  committed_hint_ = false;
   start_time_ = rt_->orecs().sample_clock();
   n_log_ = 0;
   n_alloc_log_ = 0;
@@ -52,6 +60,7 @@ void Tx::begin() {
 
 uint64_t Tx::read_word(const uint64_t* waddr) {
   c_->reads++;
+  if (cm_) cm_->beat(worker_, ctx_->now_ns());
   stats::PhaseTimer pt(*ctx_, &c_->phases, stats::Phase::kRead);
   return algo_ == Algo::kOrecLazy ? lazy_read(waddr) : eager_read(waddr);
 }
@@ -59,6 +68,7 @@ uint64_t Tx::read_word(const uint64_t* waddr) {
 void Tx::write_word(uint64_t* waddr, uint64_t val) {
   assert(rt_->pool().contains(waddr) && "transactional write outside the pool");
   c_->writes++;
+  if (cm_) cm_->beat(worker_, ctx_->now_ns());
   stats::PhaseTimer pt(*ctx_, &c_->phases, stats::Phase::kWrite);
   if (algo_ == Algo::kOrecLazy) {
     lazy_write(waddr, val);
@@ -126,6 +136,7 @@ void Tx::commit() {
   attempt_ = 0;
   if (psan_) psan_->on_tx_end(worker_);
   if (TxObserver* ob = rt_->observer()) ob->on_commit(worker_, commit_ticket_);
+  if (cm_) cm_->exit_tx(worker_);
   if (timed) c_->phases.record(stats::Phase::kCommit, ctx_->now_ns() - t0);
 }
 
@@ -140,6 +151,9 @@ void Tx::handle_abort() {
   cancel_allocs();
   if (psan_) psan_->on_tx_end(worker_);
   if (TxObserver* ob = rt_->observer()) ob->on_abort(worker_);
+  // Clean again: the descriptor must not look reclaimable while the fiber
+  // parks in backoff (a long capped backoff is slower than the lease).
+  if (cm_) cm_->exit_tx(worker_);
   if (capacity_kind_ != CapacityKind::kNone) {
     // Capacity abort: grow the exhausted resource instead of backing off —
     // the retry cannot hit the same wall, so no separation in time is
@@ -148,15 +162,17 @@ void Tx::handle_abort() {
     grow_for_capacity();
     return;
   }
-  // Exponential backoff so conflicting transactions separate in (simulated)
-  // time; required for livelock-freedom under the DES single-runner rule.
-  // The draw must never collapse to zero — two conflicting workers whose
-  // draws are both 0 ns would retry at the same simulated instant forever —
-  // so the backoff is clamped to at least one backoff_base_ns.
+  // Exponential backoff, capped and jittered so a live retrier can never
+  // outsleep the containment lease (policy and rng-sequence contract in
+  // ptm/backoff.h).
   attempt_++;
-  const uint64_t shift = attempt_ < 10 ? attempt_ : 10;
   const auto base = static_cast<uint64_t>(rt_->pool().config().cost.backoff_base_ns);
-  ctx_->advance(std::max<uint64_t>(base, rng_.next_bounded((base << shift) + 1)));
+  ctx_->advance(
+      backoff_wait_ns(attempt_, base, rt_->pool().config().backoff_max_ns, rng_));
+}
+
+void Tx::mark_killed() {
+  if (cm_) cm_->mark_dead(worker_);
 }
 
 void Tx::abort_tx(stats::AbortCause cause) {

@@ -63,6 +63,7 @@ struct CapacityError : std::runtime_error {
 
 class Runtime;
 class EpochManager;
+class ContainmentManager;
 
 class Tx {
  public:
@@ -142,6 +143,7 @@ class Tx {
   friend class Runtime;
   friend class Recovery;
   friend class EpochManager;
+  friend class ContainmentManager;
 
   Tx(Runtime& rt, int worker);
 
@@ -153,6 +155,11 @@ class Tx {
   void begin();
   void commit();
   void handle_abort();  // rollback + backoff (or capacity growth) after AbortTx
+
+  /// Runtime::run's FiberKill path: quarantine this descriptor with the
+  /// containment manager (no-op when containment is off). Atomic stores
+  /// only — must stay safe to call right after a catch handler closed.
+  void mark_killed();
   [[noreturn]] void abort_tx(stats::AbortCause cause);
 
   /// Which resource a capacity abort ran out of. Distinct from the abort
@@ -230,6 +237,7 @@ class Tx {
   sim::ExecContext* ctx_ = nullptr;
   stats::TxCounters* c_ = nullptr;
   analysis::Psan* psan_ = nullptr;  // owned by the pool's Memory; null when off
+  ContainmentManager* cm_ = nullptr;  // null unless tx_timeout_ns > 0
   int worker_;
   Algo algo_;
 
@@ -243,6 +251,15 @@ class Tx {
   bool active_persisted_ = false;  // eager: ACTIVE status already durable
   bool crc_logs_ = false;          // seal log records (crash_sim configs)
   uint64_t commit_ticket_ = 0;     // orec-clock ticket of the last commit
+  /// Volatile "the commit point is durably sealed" marker for on-behalf
+  /// reclamation: set the instant the commit record (or epoch ack) is
+  /// durable, cleared at begin/retire. Disambiguates a worker killed
+  /// mid/post-retire (header already IDLE for the next epoch, but orec
+  /// release and observer notification unfinished — must complete forward)
+  /// from one killed mid-transaction under lazy (also IDLE header — must
+  /// discard). DRAM-only by design: after a power failure recovery uses
+  /// only durable state.
+  bool committed_hint_ = false;
 
   std::vector<std::pair<std::atomic<uint64_t>*, uint64_t>> read_set_;
   std::vector<OwnedOrec> owned_;

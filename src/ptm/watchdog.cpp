@@ -1,0 +1,16 @@
+#include "ptm/watchdog.h"
+
+#include "ptm/containment.h"
+
+namespace ptm {
+
+void Watchdog::run_pass(sim::ExecContext& ctx) {
+  if (ContainmentManager* cm = rt_.containment()) {
+    // Charge the sweep to the patrol fiber's counters slot (the spare
+    // setup slot in the bench driver) — reclamation work is maintenance,
+    // not any worker's transaction cost.
+    cm->sweep(ctx, &rt_.counters(ctx.worker_id()));
+  }
+}
+
+}  // namespace ptm

@@ -1,0 +1,32 @@
+// Stuck-transaction watchdog.
+//
+// A DES-scheduled fiber (workloads::run_point spawns one when containment
+// is on and SystemConfig::watchdog_interval_ns > 0) that periodically
+// sweeps every worker descriptor for an in-flight transaction whose lease
+// expired while its owner is provably unresponsive, and reclaims it via
+// ContainmentManager::sweep. The conflict-site hook already reclaims the
+// locks *waiters* trip over; the watchdog covers the rest — a dead
+// worker whose locked data nobody happens to touch would otherwise pin
+// its log slot (and any allocations) until the next recovery.
+//
+// The fiber shares the DES engine with the workers. Reclamation issues
+// real stores/flushes/fences through the watchdog's own context, so its
+// cost is charged to the patrol fiber, never to a victim's clock.
+#pragma once
+
+#include "ptm/runtime.h"
+
+namespace ptm {
+
+class Watchdog {
+ public:
+  explicit Watchdog(Runtime& rt) : rt_(rt) {}
+
+  /// One sweep over all workers. No-op when containment is off.
+  void run_pass(sim::ExecContext& ctx);
+
+ private:
+  Runtime& rt_;
+};
+
+}  // namespace ptm

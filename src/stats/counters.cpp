@@ -92,6 +92,18 @@ void EpochStats::add(const EpochStats& o) {
   size.merge(o.size);
 }
 
+void ContainmentStats::add(const ContainmentStats& o) {
+  enabled = enabled || o.enabled;
+  deaths += o.deaths;
+  stuck_tx_reclaimed += o.stuck_tx_reclaimed;
+  aborts_on_behalf += o.aborts_on_behalf;
+  commits_completed += o.commits_completed;
+  leader_takeovers += o.leader_takeovers;
+  zombies_fenced += o.zombies_fenced;
+  watchdog_passes += o.watchdog_passes;
+  reclaim_latency_ns.merge(o.reclaim_latency_ns);
+}
+
 void PsanSummary::add(const PsanSummary& o) {
   enabled = enabled || o.enabled;
   events += o.events;

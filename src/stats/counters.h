@@ -200,6 +200,25 @@ struct EpochStats {
   void add(const EpochStats& o);
 };
 
+/// Thread-crash containment counters (ptm::ContainmentManager), one
+/// runtime lifetime. Serialized under the "containment" key of REPRO_JSON
+/// artifacts only when containment ran (enabled), keeping default-config
+/// output unchanged. The latency histogram measures lease-expiry-to-
+/// reclaim-complete in simulated nanoseconds.
+struct ContainmentStats {
+  bool enabled = false;
+  uint64_t deaths = 0;             // fibers that died (FiberKill unwound run())
+  uint64_t stuck_tx_reclaimed = 0; // expired transactions cleaned up on behalf
+  uint64_t aborts_on_behalf = 0;   // of reclaimed: rolled back (not durably committed)
+  uint64_t commits_completed = 0;  // of reclaimed: rolled forward (durably committed)
+  uint64_t leader_takeovers = 0;   // epoch drains stolen from an expired leader
+  uint64_t zombies_fenced = 0;     // stalled workers killed on wake after reclamation
+  uint64_t watchdog_passes = 0;    // watchdog sweeps completed
+  Histogram reclaim_latency_ns;    // lease expiry -> slot retired, per reclaim
+
+  void add(const ContainmentStats& o);
+};
+
 /// Record a phase latency if telemetry is on and a counter sink exists.
 /// The memory model uses this for WPQ-stall / fence-wait events, which are
 /// observed inside nvm::Memory rather than in Tx scope.

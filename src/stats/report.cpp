@@ -159,6 +159,21 @@ void write_run_result_fields(JsonWriter& w, const RunResult& r) {
     w.end_object();
   }
 
+  if (r.containment.enabled) {
+    const ContainmentStats& cm = r.containment;
+    w.key("containment").begin_object();
+    w.kv("deaths", cm.deaths);
+    w.kv("stuck_tx_reclaimed", cm.stuck_tx_reclaimed);
+    w.kv("aborts_on_behalf", cm.aborts_on_behalf);
+    w.kv("commits_completed", cm.commits_completed);
+    w.kv("leader_takeovers", cm.leader_takeovers);
+    w.kv("zombies_fenced", cm.zombies_fenced);
+    w.kv("watchdog_passes", cm.watchdog_passes);
+    w.key("reclaim_latency_ns");
+    write_histogram_summary(w, cm.reclaim_latency_ns);
+    w.end_object();
+  }
+
   if (r.device.enabled) {
     w.key("device").begin_object();
     write_device_fields(w, r.device, r.totals.energy_pj);

@@ -65,6 +65,10 @@ struct RunResult {
   // "epoch" key only when epoch.enabled, like scrub/psan/device.
   EpochStats epoch;
 
+  // Thread-crash containment counters (ptm::ContainmentManager);
+  // serialized under a "containment" key only when containment.enabled.
+  ContainmentStats containment;
+
   /// Committed transactions per simulated second.
   double throughput_tx_per_sec() const {
     if (sim_ns == 0) return 0.0;

@@ -202,6 +202,54 @@ TEST(EpochCommit, StatsSerializeUnderEpochKey) {
   EXPECT_EQ(os2.str().find("\"epoch\""), std::string::npos);
 }
 
+// ----- reset after recovery ----------------------------------------------
+
+// Runtime::recover() must drop all volatile epoch state: a crash mid-drain
+// abandons queued members and can leave the leader flag set, and none of
+// it may leak into the next lifetime. After recovery every worker's member
+// phase must read "no commit in flight" and a fresh epoch round must
+// complete (and batch) normally.
+TEST(EpochCommit, ResetAfterRecoveryClearsMembership) {
+  const nvm::SystemConfig cfg = epoch_cfg(nvm::Domain::kAdr, /*mirror=*/false);
+
+  // Count one clean round's persistence events, so the crash below lands
+  // mid-round — inside the epoch machinery, with members queued/staged.
+  uint64_t total_events = 0;
+  {
+    fault::CrashHarness dry(cfg, ptm::Algo::kOrecLazy);
+    sim::RealContext dctx(3, 4);
+    populate(dry, dctx, dry.pool.root<BankRoot>());
+    dry.seal_initial_state();
+    const uint64_t before = dry.pool.mem().persistence_events();
+    ASSERT_FALSE(dry.run_until_crash(~0ull, 1, [&] { one_epoch_round(dry); }));
+    total_events = dry.pool.mem().persistence_events() - before;
+  }
+  ASSERT_GT(total_events, 2u);
+
+  fault::CrashHarness h(cfg, ptm::Algo::kOrecLazy);
+  ASSERT_NE(h.rt.epochs(), nullptr);
+  sim::RealContext ctx(3, 4);
+  populate(h, ctx, h.pool.root<BankRoot>());
+  const bool crashed = test::run_crash_trial(
+      h, ctx, total_events / 2, 23, [&] { one_epoch_round(h); });
+  ASSERT_TRUE(crashed);
+
+  // No parked member and no stale leader may survive recovery.
+  for (int w = 0; w < 4; w++) {
+    EXPECT_EQ(h.rt.epochs()->member_phase(w), 0) << "worker " << w;
+  }
+
+  // A fresh round on the recovered runtime must complete and batch.
+  const stats::EpochStats before = h.rt.epochs()->snapshot();
+  one_epoch_round(h);
+  const stats::EpochStats after = h.rt.epochs()->snapshot();
+  EXPECT_EQ(after.member_txs - before.member_txs, uint64_t{kMembers});
+  EXPECT_GT(after.epochs, before.epochs);
+  for (int w = 0; w < 4; w++) {
+    EXPECT_EQ(h.rt.epochs()->member_phase(w), 0) << "worker " << w;
+  }
+}
+
 // ----- deterministic crash sweep -----------------------------------------
 
 struct SweepParam {
